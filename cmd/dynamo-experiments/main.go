@@ -1,0 +1,77 @@
+// Command dynamo-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dynamo-experiments [flags] [experiment ...]
+//
+// With no arguments it runs every experiment in paper order. Experiment
+// ids: fig1, table1, table2, table3, fig6, fig7, fig8, fig9, energy,
+// fig10, hwcost, fig11, table4, ablation, dse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dynamo/internal/experiments"
+)
+
+func main() {
+	threads := flag.Int("threads", 32, "worker threads per simulation (paper: 32)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = host cores)")
+	verbose := flag.Bool("v", false, "log every simulation run")
+	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{
+		Threads: *threads,
+		Seed:    *seed,
+		Scale:   *scale,
+		Workers: *workers,
+	}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	suite := experiments.NewSuite(opts)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, err := experiments.Find(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table, err := e.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), table)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Command dynamo-trace records, inspects and replays memory-operation
+// traces.
+//
+// Usage:
+//
+//	dynamo-trace record -workload histogram -o hist.trace
+//	dynamo-trace info hist.trace
+//	dynamo-trace replay -policy dynamo-reuse-pn hist.trace
+//	dynamo-trace synth -threads 8 -ops 100 -o counter.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dynamo"
+	"dynamo/internal/machine"
+	"dynamo/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	case "synth":
+		err = synth(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynamo-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dynamo-trace {record|info|replay|synth} [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "", "workload to record")
+	policy := fs.String("policy", "all-near", "policy during recording")
+	threads := fs.Int("threads", 8, "worker threads")
+	scale := fs.Float64("scale", 0.25, "workload size multiplier")
+	out := fs.String("o", "out.trace", "output file")
+	fs.Parse(args)
+	if *wl == "" {
+		return fmt.Errorf("record: -workload is required")
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	res, err := dynamo.Run(dynamo.Options{
+		Workload: *wl, Policy: *policy, Threads: *threads, Scale: *scale, Trace: w,
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d operations (%d cycles) to %s\n", w.Count(), res.Cycles, *out)
+	return nil
+}
+
+func openTrace(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.NewReader(f).ReadAll()
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info: one trace file expected")
+	}
+	recs, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	perKind := map[trace.Kind]uint64{}
+	threads := map[uint16]bool{}
+	for _, r := range recs {
+		perKind[r.Kind]++
+		threads[r.Thread] = true
+	}
+	fmt.Printf("records  %d\n", len(recs))
+	fmt.Printf("threads  %d\n", len(threads))
+	for _, k := range []trace.Kind{trace.KindLoad, trace.KindStore, trace.KindAMO, trace.KindAMOStore, trace.KindCompute} {
+		fmt.Printf("%-9s %d\n", k, perKind[k])
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	policy := fs.String("policy", "all-near", "placement policy for the replay")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay: one trace file expected")
+	}
+	recs, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	progs, err := trace.Replay(recs)
+	if err != nil {
+		return err
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Policy = *policy
+	m, err := machine.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d records under %s: %d cycles, %d AMOs (%d near, %d far)\n",
+		len(recs), *policy, res.Cycles, res.AMOs, res.NearLocal+res.NearTxn, res.Far)
+	return nil
+}
+
+func synth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	threads := fs.Int("threads", 8, "threads")
+	ops := fs.Int("ops", 100, "atomic updates per thread")
+	counters := fs.Int("counters", 4, "shared counters")
+	noReturn := fs.Bool("noreturn", true, "use AtomicStore semantics")
+	out := fs.String("o", "synth.trace", "output file")
+	fs.Parse(args)
+	recs := trace.Synthesize(*threads, *ops, *counters, *noReturn)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(recs), *out)
+	return nil
+}

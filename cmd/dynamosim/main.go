@@ -1,0 +1,93 @@
+// Command dynamosim runs one workload under one AMO placement policy and
+// prints the run's metrics.
+//
+// Usage:
+//
+//	dynamosim -workload histogram -policy dynamo-reuse-pn [-threads 32]
+//	dynamosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynamo"
+)
+
+func main() {
+	wl := flag.String("workload", "", "workload name (see -list)")
+	policy := flag.String("policy", "all-near", "placement policy (see -list)")
+	threads := flag.Int("threads", 32, "worker threads")
+	seed := flag.Int64("seed", 1, "workload seed")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	input := flag.String("input", "", "workload input variant")
+	detail := flag.Bool("detail", false, "print every raw counter")
+	prefetch := flag.Int("prefetch", 0, "L1D stride prefetch degree (0 = off)")
+	list := flag.Bool("list", false, "list workloads and policies")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, name := range dynamo.Workloads() {
+			info, err := dynamo.DescribeWorkload(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			inputs := ""
+			if len(info.Inputs) > 0 {
+				inputs = " inputs: " + strings.Join(info.Inputs, ",")
+			}
+			fmt.Printf("  %-14s %-5s %-9s class=%s  %s%s\n", info.Name, info.Code, info.Suite, info.Class, info.Sync, inputs)
+		}
+		fmt.Println("policies:")
+		for _, p := range dynamo.Policies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+	if *wl == "" {
+		fmt.Fprintln(os.Stderr, "dynamosim: -workload is required (try -list)")
+		os.Exit(2)
+	}
+
+	cfg := dynamo.DefaultConfig()
+	cfg.Chi.PrefetchDegree = *prefetch
+	res, err := dynamo.Run(dynamo.Options{
+		Workload: *wl,
+		Policy:   *policy,
+		Threads:  *threads,
+		Seed:     *seed,
+		Scale:    *scale,
+		Input:    *input,
+		Config:   &cfg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s\n", *wl)
+	fmt.Printf("policy          %s\n", res.Policy)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("instructions    %d\n", res.Instructions)
+	fmt.Printf("AMOs            %d (APKI %.2f; %d AtomicLoads, %d AtomicStores)\n",
+		res.AMOs, res.APKI, res.AMOLoads, res.AMOStores)
+	fmt.Printf("placement       %d near-local, %d near-fetch, %d far\n",
+		res.NearLocal, res.NearTxn, res.Far)
+	fmt.Printf("avg AMO latency %.1f cycles\n", res.AvgAMOLatency)
+	fmt.Printf("NoC             %d messages, %d flits, %d flit-hops\n",
+		res.NoC.Messages, res.NoC.Flits, res.NoC.FlitHops)
+	fmt.Printf("memory          %d reads, %d writes\n", res.Mem.Reads, res.Mem.Writes)
+	fmt.Printf("dynamic energy  %.2f uJ (caches %.1f%%, NoC %.1f%%, memory %.1f%%)\n",
+		res.Energy.Total()/1e6,
+		100*res.Energy.Caches/res.Energy.Total(),
+		100*res.Energy.NoC/res.Energy.Total(),
+		100*res.Energy.Memory/res.Energy.Total())
+	if *detail {
+		fmt.Println("\nraw counters:")
+		fmt.Print(res.Detail)
+	}
+}

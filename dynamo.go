@@ -1,0 +1,210 @@
+// Package dynamo is the public API of the DynAMO reproduction: a
+// cycle-level simulator of a 32-core AMBA 5 CHI system with near and far
+// atomic memory operations, the static AMO placement policies of Table I,
+// the DynAMO predictors of Section V, and the 21 workload analogs the
+// paper evaluates.
+//
+// Quick start:
+//
+//	res, err := dynamo.Run(dynamo.Options{
+//		Workload: "histogram",
+//		Policy:   "dynamo-reuse-pn",
+//		Threads:  32,
+//	})
+//	fmt.Printf("%d cycles, APKI %.1f\n", res.Cycles, res.APKI)
+//
+// Every run validates the workload's functional result (histograms sum,
+// sorted output is sorted, BFS distances match a serial reference), so a
+// lost atomic update anywhere in the simulated protocol fails the run.
+package dynamo
+
+import (
+	"fmt"
+
+	"dynamo/internal/core"
+	"dynamo/internal/cpu"
+	"dynamo/internal/machine"
+	"dynamo/internal/memory"
+	"dynamo/internal/trace"
+	"dynamo/internal/workload"
+)
+
+// Config is the full system configuration (Table II defaults).
+type Config = machine.Config
+
+// Result summarizes a completed run.
+type Result = machine.Result
+
+// DefaultConfig returns the paper's Table II system: 32 out-of-order
+// cores, 64 KiB L1D + 512 KiB L2 per core, 32x1 MiB exclusive LLC slices
+// on an 8x8 mesh, and 8-channel HBM3-class memory.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// Policies returns the registered placement policy names: the five static
+// policies of Table I plus the three DynAMO predictors.
+func Policies() []string { return core.Names() }
+
+// StaticPolicies returns the Table I policy names in table order.
+func StaticPolicies() []string { return core.StaticNames() }
+
+// DynamicPolicies returns the DynAMO predictor names.
+func DynamicPolicies() []string { return core.DynamicNames() }
+
+// Workloads returns the 21 Table III workload names in paper order.
+func Workloads() []string { return workload.TableIIIOrder() }
+
+// WorkloadInfo describes one registered workload.
+type WorkloadInfo struct {
+	Name  string
+	Code  string
+	Suite string
+	Sync  string
+	// Class is "L", "M" or "H" — the APKI intensity set of Fig. 6.
+	Class string
+	// Inputs lists the accepted input variants (first is the default).
+	Inputs []string
+}
+
+// DescribeWorkload returns metadata for a workload name.
+func DescribeWorkload(name string) (WorkloadInfo, error) {
+	s, err := workload.Get(name)
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	return WorkloadInfo{
+		Name: s.Name, Code: s.Code, Suite: s.Suite, Sync: s.Sync,
+		Class: s.Class.String(), Inputs: s.Inputs,
+	}, nil
+}
+
+// Options selects what to run.
+type Options struct {
+	// Workload is a Table III workload name (see Workloads).
+	Workload string
+	// Policy is a placement policy name (see Policies). Empty selects
+	// "all-near", the paper's baseline.
+	Policy string
+	// Threads is the number of worker threads; 0 selects the core count.
+	Threads int
+	// Seed drives all pseudo-random choices (default 1).
+	Seed int64
+	// Scale multiplies the default problem size (0 = 1.0).
+	Scale float64
+	// Input selects a workload input variant ("" = default).
+	Input string
+	// Config overrides the system configuration (nil = DefaultConfig).
+	Config *Config
+	// SkipValidation disables the post-run functional check (benchmarks).
+	SkipValidation bool
+	// Trace, when non-nil, records every executed thread operation.
+	Trace *trace.Writer
+}
+
+func (o Options) fill() (Options, Config, error) {
+	cfg := DefaultConfig()
+	if o.Config != nil {
+		cfg = *o.Config
+	}
+	if o.Policy == "" {
+		o.Policy = "all-near"
+	}
+	cfg.Policy = o.Policy
+	if o.Threads == 0 {
+		o.Threads = cfg.Chi.Cores
+	}
+	if o.Threads > cfg.Chi.Cores {
+		return o, cfg, fmt.Errorf("dynamo: %d threads exceed %d cores", o.Threads, cfg.Chi.Cores)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, cfg, nil
+}
+
+// Run executes one workload under one policy and returns its metrics. The
+// workload's functional result is validated unless SkipValidation is set.
+func Run(opts Options) (*Result, error) {
+	opts, cfg, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	spec, err := workload.Get(opts.Workload)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: opts.Threads,
+		Seed:    opts.Seed,
+		Scale:   opts.Scale,
+		Input:   opts.Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runInstance(cfg, inst, opts)
+}
+
+// RunCounter executes the Fig. 1 shared-counter microbenchmark: threads
+// threads each performing ops atomic increments, with AtomicStore
+// (noReturn) or AtomicLoad semantics.
+func RunCounter(policy string, threads, ops int, noReturn bool, cfg *Config) (*Result, error) {
+	opts, conf, err := Options{Policy: policy, Threads: threads, Config: cfg}.fill()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := workload.Counter(opts.Threads, ops, noReturn, 8)
+	if err != nil {
+		return nil, err
+	}
+	return runInstance(conf, inst, opts)
+}
+
+func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, error) {
+	if opts.Trace != nil {
+		observe, flush := trace.Recorder(opts.Trace)
+		cfg.CPU.Observe = observe
+		defer flush()
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.SkipValidation {
+		if err := inst.Validate(m.Sys.Data); err != nil {
+			return nil, fmt.Errorf("dynamo: functional validation failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Thread is the API custom programs use to issue simulated operations:
+// Load, Store, AMO, CAS, AMOStore, Compute, Fence and the release
+// variants. Value-returning operations block the simulated core;
+// stores and AtomicStores are posted.
+type Thread = cpu.Thread
+
+// Program is custom workload code: one function per simulated thread.
+type Program = cpu.Program
+
+// RunPrograms is the low-level entry point: it runs arbitrary programs
+// (at most one per core) on a machine built from cfg and returns the
+// metrics plus a read function for inspecting final memory contents.
+func RunPrograms(cfg Config, programs []Program) (*Result, func(addr uint64) uint64, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run(programs)
+	if err != nil {
+		return nil, nil, err
+	}
+	read := func(addr uint64) uint64 { return m.Sys.Data.Load(memory.Addr(addr)) }
+	return res, read, nil
+}

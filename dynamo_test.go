@@ -1,0 +1,226 @@
+package dynamo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/trace"
+)
+
+// smallConfig shrinks the system so facade tests stay fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Chi.Cores = 4
+	cfg.Chi.HNSlices = 4
+	cfg.Chi.Mesh.Width = 4
+	cfg.Chi.Mesh.Height = 4
+	cfg.Chi.L1Sets = 32
+	cfg.Chi.L2Sets = 128
+	cfg.Chi.LLCSets = 512
+	return cfg
+}
+
+func TestPoliciesAndWorkloadsListed(t *testing.T) {
+	if len(Policies()) != 8 {
+		t.Fatalf("Policies() = %v", Policies())
+	}
+	if len(StaticPolicies()) != 5 || len(DynamicPolicies()) != 3 {
+		t.Fatal("policy groups wrong")
+	}
+	if len(Workloads()) != 21 {
+		t.Fatalf("Workloads() has %d entries", len(Workloads()))
+	}
+}
+
+func TestDescribeWorkload(t *testing.T) {
+	info, err := DescribeWorkload("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Code != "HIST" || info.Class != "H" || len(info.Inputs) != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := DescribeWorkload("nope"); err == nil {
+		t.Fatal("unknown workload described")
+	}
+}
+
+func TestRunQuickstart(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(Options{
+		Workload: "histogram",
+		Policy:   "dynamo-reuse-pn",
+		Threads:  4,
+		Scale:    0.1,
+		Config:   &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.AMOs == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestRunDefaultsPolicyAndSeed(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(Options{Workload: "tc", Threads: 2, Scale: 0.1, Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "all-near" {
+		t.Fatalf("default policy = %q", res.Policy)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := Run(Options{Workload: "nope", Config: &cfg}); err == nil {
+		t.Error("unknown workload ran")
+	}
+	if _, err := Run(Options{Workload: "tc", Policy: "nope", Config: &cfg}); err == nil {
+		t.Error("unknown policy ran")
+	}
+	if _, err := Run(Options{Workload: "tc", Threads: 99, Config: &cfg}); err == nil {
+		t.Error("too many threads ran")
+	}
+	if _, err := Run(Options{Workload: "spmv", Input: "nope", Threads: 2, Config: &cfg}); err == nil {
+		t.Error("unknown input ran")
+	}
+}
+
+func TestRunCounterBothSemantics(t *testing.T) {
+	cfg := smallConfig()
+	for _, noReturn := range []bool{false, true} {
+		res, err := RunCounter("unique-near", 4, 30, noReturn, &cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AMOs != 120 {
+			t.Fatalf("AMOs = %d, want 120", res.AMOs)
+		}
+		if noReturn && res.AMOStores != 120 {
+			t.Fatalf("AMOStores = %d", res.AMOStores)
+		}
+		if !noReturn && res.AMOLoads != 120 {
+			t.Fatalf("AMOLoads = %d", res.AMOLoads)
+		}
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	cfg := smallConfig()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	if _, err := Run(Options{
+		Workload: "tc", Threads: 2, Scale: 0.1, Config: &cfg, Trace: w,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace empty")
+	}
+	// The trace must replay into the same number of threads.
+	progs, err := trace.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("replay has %d threads, want 2", len(progs))
+	}
+}
+
+func TestRunProgramsCustomWorkload(t *testing.T) {
+	cfg := smallConfig()
+	const counter = 0x4000
+	prog := func(th *Thread) {
+		for i := 0; i < 50; i++ {
+			th.AMOStore(memory.AMOAdd, counter, 1)
+		}
+		th.Fence()
+	}
+	res, read, err := RunPrograms(cfg, []Program{prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := read(counter); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	if res.AMOs != 100 {
+		t.Fatalf("AMOs = %d", res.AMOs)
+	}
+}
+
+func TestValidationFailureSurfaces(t *testing.T) {
+	// SkipValidation must be the only way to bypass the functional check;
+	// with it set, runs still succeed.
+	cfg := smallConfig()
+	if _, err := Run(Options{
+		Workload: "radixsort", Threads: 4, Scale: 0.1, Config: &cfg, SkipValidation: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPolicyDirectionsEndToEnd asserts the paper's headline directions on
+// the full-size machine at reduced workload scale: far placement wins the
+// contended microbenchmark, near placement wins the single-thread case,
+// and DynAMO-Reuse-PN never does materially worse than the baseline.
+func TestPolicyDirectionsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-machine comparison")
+	}
+	// Contended counter at 32 threads: far beats near.
+	near, err := RunCounter("all-near", 32, 150, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := RunCounter("unique-near", 32, 150, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Cycles >= near.Cycles {
+		t.Errorf("contended: far %d cycles >= near %d", far.Cycles, near.Cycles)
+	}
+	// Single thread: near beats far.
+	near1, err := RunCounter("all-near", 1, 150, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far1, err := RunCounter("unique-near", 1, 150, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near1.Cycles >= far1.Cycles {
+		t.Errorf("single thread: near %d cycles >= far %d", near1.Cycles, far1.Cycles)
+	}
+	// DynAMO on a far-friendly workload: at least 85%% of the best and
+	// better than the baseline.
+	base, err := Run(Options{Workload: "histogram", Threads: 16, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Run(Options{Workload: "histogram", Policy: "dynamo-reuse-pn", Threads: 16, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Cycles > base.Cycles*105/100 {
+		t.Errorf("dynamo %d cycles much worse than baseline %d", dyn.Cycles, base.Cycles)
+	}
+}
+
+func TestWorkloadNamesAreStable(t *testing.T) {
+	want := "barnes fmm ocean radiosity raytrace volrend water bfs cc cluster gmetis kcore pagerank spt sssp bc tc fluidanimate histogram radixsort spmv"
+	if got := strings.Join(Workloads(), " "); got != want {
+		t.Fatalf("workload order changed:\n got %s\nwant %s", got, want)
+	}
+}

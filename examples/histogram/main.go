@@ -1,0 +1,50 @@
+// Histogram input sensitivity: the Fig. 9 experiment as a standalone
+// program. The same histogram kernel behaves oppositely under a fixed
+// static policy depending on the input image, while DynAMO adapts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamo"
+)
+
+func main() {
+	inputs := []string{"NASA", "BMP24"}
+	policies := []string{"all-near", "unique-near", "dynamo-reuse-pn"}
+
+	fmt.Println("histogram: speed-up vs all-near, per input image")
+	fmt.Printf("%-8s", "input")
+	for _, p := range policies[1:] {
+		fmt.Printf("  %-16s", p)
+	}
+	fmt.Println()
+
+	for _, input := range inputs {
+		cycles := map[string]uint64{}
+		for _, p := range policies {
+			res, err := dynamo.Run(dynamo.Options{
+				Workload: "histogram",
+				Policy:   p,
+				Input:    input,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[p] = uint64(res.Cycles)
+		}
+		fmt.Printf("%-8s", input)
+		for _, p := range policies[1:] {
+			fmt.Printf("  %-16.3f", float64(cycles["all-near"])/float64(cycles[p]))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("NASA spreads pixels over a histogram far larger than the L1, so")
+	fmt.Println("executing the stadd updates far avoids thrashing; BMP24's few")
+	fmt.Println("buckets fit in the L1 and favour near execution. A static choice")
+	fmt.Println("is right for one input and wrong for the other; the predictor")
+	fmt.Println("tracks the actual reuse and adapts (Section VI-D of the paper).")
+}

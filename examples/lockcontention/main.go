@@ -1,0 +1,82 @@
+// Lock contention study: builds the two access patterns of Fig. 3 as
+// custom programs against the public Thread API — (a) threads taking turns
+// on a shared counter (ping-pong, far-friendly) and (b) each thread
+// performing batches of updates (reuse, near-friendly) — and shows how the
+// static policies and DynAMO behave on each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynamo"
+	"dynamo/internal/memory"
+)
+
+const (
+	counterAddr = 0x100000
+	threads     = 16
+	updates     = 320
+)
+
+// pingPong is access pattern (a): every update is likely to find the line
+// owned by another core.
+func pingPong(th *dynamo.Thread) {
+	for i := 0; i < updates; i++ {
+		th.AMO(memory.AMOAdd, counterAddr, 1)
+		th.Compute(40) // turn-taking interval
+	}
+}
+
+// batched is access pattern (b): each thread performs long runs of
+// updates back to back between compute phases, so a fetched line is reused
+// many times before it is stolen.
+func batched(th *dynamo.Thread) {
+	for i := 0; i < updates/16; i++ {
+		for j := 0; j < 16; j++ {
+			th.AMO(memory.AMOAdd, counterAddr, 1)
+		}
+		th.Compute(900)
+	}
+}
+
+func run(pattern string, prog dynamo.Program, policy string) uint64 {
+	cfg := dynamo.DefaultConfig()
+	cfg.Policy = policy
+	progs := make([]dynamo.Program, threads)
+	for i := range progs {
+		progs[i] = prog
+	}
+	res, read, err := dynamo.RunPrograms(cfg, progs)
+	if err != nil {
+		log.Fatalf("%s/%s: %v", pattern, policy, err)
+	}
+	if got := read(counterAddr); got != uint64(threads*updates) {
+		log.Fatalf("%s/%s: lost updates: %d != %d", pattern, policy, got, threads*updates)
+	}
+	return uint64(res.Cycles)
+}
+
+func main() {
+	fmt.Printf("Fig. 3 access patterns on %d threads, %d updates each\n\n", threads, updates)
+	policies := []string{"all-near", "unique-near", "dynamo-reuse-pn"}
+	patterns := []struct {
+		name string
+		prog dynamo.Program
+	}{
+		{"ping-pong (a)", pingPong},
+		{"batched (b)", batched},
+	}
+	for _, p := range patterns {
+		fmt.Printf("%s:\n", p.name)
+		base := run(p.name, p.prog, "all-near")
+		for _, policy := range policies {
+			cycles := run(p.name, p.prog, policy)
+			fmt.Printf("  %-16s %8d cycles  (%.2fx vs all-near)\n",
+				policy, cycles, float64(base)/float64(cycles))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Far execution wins the turn-taking pattern; near execution wins")
+	fmt.Println("the batched pattern; the DynAMO predictor adapts to both.")
+}

@@ -1,0 +1,200 @@
+// Package cache implements generic set-associative lookup structures with
+// true-LRU replacement. The same structure backs the L1D/L2 tag arrays, the
+// LLC slices, the home-node AMO buffer and the DynAMO AMO Metadata Table.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set holds the ways of one set in LRU order (index 0 = most recently used).
+type way[V any] struct {
+	valid bool
+	tag   uint64
+	value V
+}
+
+// SetAssoc is a set-associative array mapping a uint64 key (typically a
+// cache-line number) to a value of type V. Keys are split into set index
+// (low bits) and tag (high bits). Replacement is true LRU within a set.
+type SetAssoc[V any] struct {
+	sets      int
+	ways      int
+	setShift  uint
+	data      [][]way[V] // data[set] = ways in LRU order
+	evictions uint64
+	hits      uint64
+	misses    uint64
+}
+
+// NewSetAssoc builds an array with the given number of sets (a power of two)
+// and associativity.
+func NewSetAssoc[V any](sets, ways int) *SetAssoc[V] {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid geometry %dx%d", sets, ways))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets %d is not a power of two", sets))
+	}
+	c := &SetAssoc[V]{
+		sets:     sets,
+		ways:     ways,
+		setShift: uint(bits.TrailingZeros(uint(sets))),
+		data:     make([][]way[V], sets),
+	}
+	for i := range c.data {
+		c.data[i] = make([]way[V], 0, ways)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc[V]) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc[V]) Ways() int { return c.ways }
+
+// Capacity returns sets*ways.
+func (c *SetAssoc[V]) Capacity() int { return c.sets * c.ways }
+
+// Stats returns cumulative hits, misses and evictions.
+func (c *SetAssoc[V]) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
+
+func (c *SetAssoc[V]) index(key uint64) (set int, tag uint64) {
+	return int(key & uint64(c.sets-1)), key >> c.setShift
+}
+
+// Lookup returns the value for key and promotes it to MRU. The returned
+// pointer stays valid until the entry is evicted or removed; callers mutate
+// entries through it.
+func (c *SetAssoc[V]) Lookup(key uint64) (*V, bool) {
+	set, tag := c.index(key)
+	s := c.data[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			c.hits++
+			c.touch(set, i)
+			return &c.data[set][0].value, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Peek returns the value for key without updating LRU order or hit/miss
+// statistics.
+func (c *SetAssoc[V]) Peek(key uint64) (*V, bool) {
+	set, tag := c.index(key)
+	s := c.data[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return &s[i].value, true
+		}
+	}
+	return nil, false
+}
+
+// Contains reports presence without perturbing any state.
+func (c *SetAssoc[V]) Contains(key uint64) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
+// touch moves way i of set to MRU position.
+func (c *SetAssoc[V]) touch(set, i int) {
+	s := c.data[set]
+	if i == 0 {
+		return
+	}
+	w := s[i]
+	copy(s[1:i+1], s[0:i])
+	s[0] = w
+}
+
+// Insert adds key with value v as MRU. If the set is full, the LRU way is
+// evicted and returned with evicted=true. Inserting an existing key replaces
+// its value and promotes it.
+func (c *SetAssoc[V]) Insert(key uint64, v V) (victimKey uint64, victim V, evicted bool) {
+	set, tag := c.index(key)
+	s := c.data[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].value = v
+			c.touch(set, i)
+			return 0, victim, false
+		}
+	}
+	if len(s) < c.ways {
+		c.data[set] = append(s, way[V]{})
+		s = c.data[set]
+		copy(s[1:], s[0:len(s)-1])
+		s[0] = way[V]{valid: true, tag: tag, value: v}
+		return 0, victim, false
+	}
+	// Evict LRU (last position).
+	last := len(s) - 1
+	victimKey = s[last].tag<<c.setShift | uint64(set)
+	victim = s[last].value
+	c.evictions++
+	copy(s[1:], s[0:last])
+	s[0] = way[V]{valid: true, tag: tag, value: v}
+	return victimKey, victim, true
+}
+
+// Remove deletes key if present and returns its value.
+func (c *SetAssoc[V]) Remove(key uint64) (V, bool) {
+	set, tag := c.index(key)
+	s := c.data[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			v := s[i].value
+			c.data[set] = append(s[:i], s[i+1:]...)
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Victim returns the key that Insert(key, ...) would evict, if any, without
+// modifying the array.
+func (c *SetAssoc[V]) Victim(key uint64) (victimKey uint64, wouldEvict bool) {
+	set, tag := c.index(key)
+	s := c.data[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return 0, false
+		}
+	}
+	if len(s) < c.ways {
+		return 0, false
+	}
+	last := len(s) - 1
+	return s[last].tag<<c.setShift | uint64(set), true
+}
+
+// Len returns the number of valid entries across all sets.
+func (c *SetAssoc[V]) Len() int {
+	n := 0
+	for _, s := range c.data {
+		n += len(s)
+	}
+	return n
+}
+
+// Range calls fn for every (key, value) pair until fn returns false.
+// Iteration order is set-major then LRU order; it does not modify LRU state.
+func (c *SetAssoc[V]) Range(fn func(key uint64, v *V) bool) {
+	for set := range c.data {
+		s := c.data[set]
+		for i := range s {
+			key := s[i].tag<<c.setShift | uint64(set)
+			if !fn(key, &s[i].value) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	c := NewSetAssoc[int](4, 2)
+	c.Insert(0, 100)
+	c.Insert(4, 104) // same set (4 sets), different tag
+	if v, ok := c.Lookup(0); !ok || *v != 100 {
+		t.Fatalf("Lookup(0) = %v,%v", v, ok)
+	}
+	if v, ok := c.Lookup(4); !ok || *v != 104 {
+		t.Fatalf("Lookup(4) = %v,%v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewSetAssoc[int](1, 2)
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	c.Lookup(1) // 1 becomes MRU, 2 is LRU
+	vk, vv, ev := c.Insert(3, 3)
+	if !ev || vk != 2 || vv != 2 {
+		t.Fatalf("evicted (%d,%d,%v), want (2,2,true)", vk, vv, ev)
+	}
+	if c.Contains(2) {
+		t.Fatal("evicted key still present")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("survivors missing")
+	}
+}
+
+func TestVictimPrediction(t *testing.T) {
+	c := NewSetAssoc[int](1, 2)
+	if _, would := c.Victim(1); would {
+		t.Fatal("empty set predicted eviction")
+	}
+	c.Insert(1, 1)
+	c.Insert(2, 2)
+	if _, would := c.Victim(1); would {
+		t.Fatal("hit predicted eviction")
+	}
+	vk, would := c.Victim(3)
+	if !would || vk != 1 {
+		t.Fatalf("Victim(3) = (%d,%v), want (1,true)", vk, would)
+	}
+	// Victim must not perturb state.
+	gotK, _, ev := c.Insert(3, 3)
+	if !ev || gotK != vk {
+		t.Fatalf("actual eviction %d != predicted %d", gotK, vk)
+	}
+}
+
+func TestInsertExistingReplaces(t *testing.T) {
+	c := NewSetAssoc[int](2, 2)
+	c.Insert(6, 1)
+	_, _, ev := c.Insert(6, 2)
+	if ev {
+		t.Fatal("re-insert evicted")
+	}
+	if v, _ := c.Peek(6); *v != 2 {
+		t.Fatalf("value = %d, want 2", *v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewSetAssoc[string](2, 2)
+	c.Insert(10, "a")
+	if v, ok := c.Remove(10); !ok || v != "a" {
+		t.Fatalf("Remove = (%q,%v)", v, ok)
+	}
+	if _, ok := c.Remove(10); ok {
+		t.Fatal("double remove succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatal("Len != 0 after remove")
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := NewSetAssoc[int](1, 2)
+	c.Insert(1, 1)
+	c.Insert(2, 2) // LRU order: 2, 1
+	c.Peek(1)      // must NOT promote 1
+	vk, _, ev := c.Insert(3, 3)
+	if !ev || vk != 1 {
+		t.Fatalf("Peek promoted: evicted %d, want 1", vk)
+	}
+}
+
+func TestMutationThroughPointer(t *testing.T) {
+	c := NewSetAssoc[int](2, 2)
+	c.Insert(5, 7)
+	p, _ := c.Lookup(5)
+	*p = 99
+	if v, _ := c.Peek(5); *v != 99 {
+		t.Fatalf("mutation lost: %d", *v)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := NewSetAssoc[int](1, 1)
+	c.Lookup(1) // miss
+	c.Insert(1, 1)
+	c.Lookup(1)    // hit
+	c.Insert(2, 2) // evicts 1
+	h, m, e := c.Stats()
+	if h != 1 || m != 1 || e != 1 {
+		t.Fatalf("stats = (%d,%d,%d), want (1,1,1)", h, m, e)
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := NewSetAssoc[int](4, 4)
+	keys := []uint64{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, k := range keys {
+		c.Insert(k, int(k)*10)
+	}
+	seen := map[uint64]int{}
+	c.Range(func(k uint64, v *int) bool {
+		seen[k] = *v
+		return true
+	})
+	if len(seen) != len(keys) {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), len(keys))
+	}
+	for _, k := range keys {
+		if seen[k] != int(k)*10 {
+			t.Fatalf("seen[%d] = %d", k, seen[k])
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range [][2]int{{0, 1}, {1, 0}, {3, 2}, {-4, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %v did not panic", g)
+				}
+			}()
+			NewSetAssoc[int](g[0], g[1])
+		}()
+	}
+}
+
+// Property: occupancy never exceeds capacity and per-set occupancy never
+// exceeds associativity, under arbitrary insert/remove/lookup streams.
+func TestBoundedOccupancyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewSetAssoc[int](8, 4)
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(256))
+			switch rng.Intn(3) {
+			case 0:
+				c.Insert(k, i)
+			case 1:
+				c.Lookup(k)
+			case 2:
+				c.Remove(k)
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		// Verify per-set occupancy via Range.
+		perSet := map[uint64]int{}
+		c.Range(func(k uint64, _ *int) bool {
+			perSet[k&7]++
+			return true
+		})
+		for _, n := range perSet {
+			if n > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the cache agrees with a reference model (map + per-set LRU list)
+// on hit/miss for random access streams.
+func TestLRUReferenceModelProperty(t *testing.T) {
+	const sets, ways = 4, 3
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewSetAssoc[int](sets, ways)
+		ref := make([][]uint64, sets) // MRU-first key lists
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(64))
+			set := int(k % sets)
+			// Reference lookup.
+			refHit := false
+			for j, rk := range ref[set] {
+				if rk == k {
+					refHit = true
+					ref[set] = append(ref[set][:j], ref[set][j+1:]...)
+					ref[set] = append([]uint64{k}, ref[set]...)
+					break
+				}
+			}
+			_, hit := c.Lookup(k)
+			if hit != refHit {
+				return false
+			}
+			if !hit {
+				c.Insert(k, i)
+				if len(ref[set]) == ways {
+					ref[set] = ref[set][:ways-1]
+				}
+				ref[set] = append([]uint64{k}, ref[set]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := NewSetAssoc[uint64](256, 4)
+	for i := uint64(0); i < 1024; i++ {
+		c.Insert(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i) & 1023)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := NewSetAssoc[uint64](256, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i), uint64(i))
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamo/internal/chi"
+	"dynamo/internal/memory"
+)
+
+// Section IV performs a design-space exploration over static policies: a
+// policy is one near/far decision per coherence state, giving 2^5 = 32
+// combinations, of which only those that keep unique states near are
+// practical (a far AMO on a UC/UD line triggers the pathological
+// requestor-snoop flow of Section II-B). That leaves 2^3 = 8 candidates
+// over the SC/SD/I decisions; the paper evaluates the five most
+// representative and reports the remaining three behave like close
+// neighbours. This file enumerates the space so the harness can evaluate
+// all eight.
+
+// DesignSpaceSize is the full static-policy space (2^5).
+const DesignSpaceSize = 32
+
+// EnumerateDesignSpace returns all 32 static policies, one per decision
+// combination, named by their decision string (e.g. "NN-FNF" for
+// UC,UD-SC,SD,I).
+func EnumerateDesignSpace() []*Static {
+	policies := make([]*Static, 0, DesignSpaceSize)
+	for bits := 0; bits < DesignSpaceSize; bits++ {
+		p := make([]chi.Placement, 5)
+		for i := range p {
+			if bits>>i&1 == 1 {
+				p[i] = chi.Far
+			}
+		}
+		policies = append(policies, NewStatic(designSpaceName(p), p[0], p[1], p[2], p[3], p[4]))
+	}
+	return policies
+}
+
+func designSpaceName(p []chi.Placement) string {
+	var b strings.Builder
+	b.WriteString("dse-")
+	for i, pl := range p {
+		if i == 2 {
+			b.WriteByte('-')
+		}
+		if pl == chi.Near {
+			b.WriteByte('n')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+// Practical reports whether a static policy avoids the pathological cases
+// Section IV excludes: far execution on lines already held in unique
+// state.
+func Practical(p *Static) bool {
+	tab := p.Table()
+	return tab[0] == chi.Near && tab[1] == chi.Near
+}
+
+// PracticalDesignSpace returns the eight practical static policies of
+// Section IV in a stable order, from all-near (nnn over SC/SD/I) to
+// unique-near (fff).
+func PracticalDesignSpace() []*Static {
+	var out []*Static
+	for _, p := range EnumerateDesignSpace() {
+		if Practical(p) {
+			out = append(out, p)
+		}
+	}
+	if len(out) != 8 {
+		panic(fmt.Sprintf("core: practical design space has %d policies, want 8", len(out)))
+	}
+	return out
+}
+
+// CanonicalName maps a design-space policy to its published name when it
+// is one of the five Table I policies, or "" otherwise.
+func CanonicalName(p *Static) string {
+	tab := p.Table()
+	for _, named := range []*Static{AllNear(), UniqueNear(), PresentNear(), DirtyNear(), SharedFar()} {
+		if named.Table() == tab {
+			return named.Name()
+		}
+	}
+	return ""
+}
+
+// DecisionString renders a policy row as Table I does ("N N F F F").
+func DecisionString(p *Static) string {
+	tab := p.Table()
+	parts := make([]string, len(tab))
+	for i, pl := range tab {
+		if pl == chi.Near {
+			parts[i] = "N"
+		} else {
+			parts[i] = "F"
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// DecideAll returns the policy's decisions over all five states, for
+// exhaustive comparisons in tests.
+func DecideAll(p *Static) [5]chi.Placement {
+	var out [5]chi.Placement
+	for i, st := range memory.States {
+		out[i] = p.Decide(0, 0, st)
+	}
+	return out
+}

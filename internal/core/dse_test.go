@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"dynamo/internal/chi"
+)
+
+func TestDesignSpaceEnumeration(t *testing.T) {
+	all := EnumerateDesignSpace()
+	if len(all) != 32 {
+		t.Fatalf("%d policies, want 32", len(all))
+	}
+	seen := map[[5]chi.Placement]bool{}
+	for _, p := range all {
+		tab := p.Table()
+		if seen[tab] {
+			t.Fatalf("duplicate policy %v", tab)
+		}
+		seen[tab] = true
+		if got := DecideAll(p); got != tab {
+			t.Fatalf("Decide disagrees with Table: %v vs %v", got, tab)
+		}
+	}
+}
+
+func TestPracticalDesignSpace(t *testing.T) {
+	practical := PracticalDesignSpace()
+	if len(practical) != 8 {
+		t.Fatalf("%d practical policies, want 8", len(practical))
+	}
+	for _, p := range practical {
+		tab := p.Table()
+		if tab[0] != chi.Near || tab[1] != chi.Near {
+			t.Fatalf("practical policy %s runs far on unique states", p.Name())
+		}
+	}
+	// The five Table I policies are all inside the practical space.
+	names := map[string]bool{}
+	for _, p := range practical {
+		if n := CanonicalName(p); n != "" {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"all-near", "unique-near", "present-near", "dirty-near", "shared-far"} {
+		if !names[want] {
+			t.Errorf("practical space missing %s", want)
+		}
+	}
+	// And exactly three unnamed candidates remain, as the paper says.
+	if got := 8 - len(names); got != 3 {
+		t.Errorf("%d unnamed practical policies, want 3", got)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if got := DecisionString(UniqueNear()); got != "N N F F F" {
+		t.Fatalf("DecisionString = %q", got)
+	}
+}
+
+func TestDesignSpacePoliciesRunnable(t *testing.T) {
+	// Every practical policy must satisfy chi.Policy and answer near for
+	// unique states through the substrate's contract.
+	for _, p := range PracticalDesignSpace() {
+		var _ chi.Policy = p
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+	}
+}

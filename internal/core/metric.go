@@ -1,0 +1,111 @@
+package core
+
+import (
+	"dynamo/internal/cache"
+	"dynamo/internal/chi"
+	"dynamo/internal/memory"
+)
+
+// metricEntry holds the per-line statistics of the metric-based predictor:
+// how often the line completed a near AMO at this core versus how often the
+// directory invalidated it.
+type metricEntry struct {
+	nearCompleted uint32
+	invalidations uint32
+}
+
+// Metric is the first DynAMO design (Section V-B): it predicts near when
+// the ratio of completed near AMOs to received invalidations is high (low
+// contention), far otherwise. Counters are halved when either saturates, a
+// cheap aging scheme that keeps predictions responsive across program
+// phases and avoids overflow.
+type Metric struct {
+	cfg    AMTConfig
+	tables []*cache.SetAssoc[metricEntry] // one AMT per core
+}
+
+var _ chi.Policy = (*Metric)(nil)
+
+// NewMetric builds the metric-based predictor for a system with the given
+// core count.
+func NewMetric(cores int, cfg AMTConfig) *Metric {
+	m := &Metric{cfg: cfg}
+	for i := 0; i < cores; i++ {
+		m.tables = append(m.tables, cache.NewSetAssoc[metricEntry](cfg.Entries/cfg.Ways, cfg.Ways))
+	}
+	return m
+}
+
+// Name implements chi.Policy.
+func (m *Metric) Name() string { return "dynamo-metric" }
+
+// Decide implements chi.Policy. A predicted-near line behaves like All
+// Near; a predicted-far line behaves like Unique Near (Section V-B).
+func (m *Metric) Decide(core int, line memory.Line, st memory.State) chi.Placement {
+	if st.Unique() {
+		return chi.Near
+	}
+	t := m.tables[core]
+	e, ok := t.Lookup(uint64(line))
+	if !ok {
+		// First touch: near AMOs perform well in most cases, so the first
+		// prediction is always near, recorded optimistically.
+		t.Insert(uint64(line), metricEntry{nearCompleted: 1})
+		return chi.Near
+	}
+	if e.nearCompleted >= e.invalidations {
+		return chi.Near
+	}
+	return chi.Far
+}
+
+// bump increments one counter of an entry, halving both on saturation.
+func (m *Metric) bump(core int, line memory.Line, inv bool) {
+	e, ok := m.tables[core].Peek(uint64(line))
+	if !ok {
+		return
+	}
+	if inv {
+		e.invalidations++
+	} else {
+		e.nearCompleted++
+	}
+	if e.invalidations >= uint32(m.cfg.CounterMax) || e.nearCompleted >= uint32(m.cfg.CounterMax) {
+		e.invalidations >>= 1
+		e.nearCompleted >>= 1
+	}
+}
+
+// Age halves every counter of every core's table — the paper's periodic
+// right-shift that keeps predictions responsive across program phases.
+// The machine invokes it on a fixed cycle period.
+func (m *Metric) Age() {
+	for _, t := range m.tables {
+		t.Range(func(_ uint64, e *metricEntry) bool {
+			e.nearCompleted >>= 1
+			e.invalidations >>= 1
+			return true
+		})
+	}
+}
+
+// OnNearComplete implements chi.Policy.
+func (m *Metric) OnNearComplete(core int, line memory.Line) { m.bump(core, line, false) }
+
+// OnInvalidate implements chi.Policy.
+func (m *Metric) OnInvalidate(core int, line memory.Line) { m.bump(core, line, true) }
+
+// The metric design ignores fill, hit and eviction events.
+
+func (m *Metric) OnFill(int, memory.Line, bool) {}
+func (m *Metric) OnHit(int, memory.Line)        {}
+func (m *Metric) OnEvict(int, memory.Line)      {}
+
+// Entry exposes the counters of a line's AMT entry for tests.
+func (m *Metric) Entry(core int, line memory.Line) (near, inv uint32, ok bool) {
+	e, found := m.tables[core].Peek(uint64(line))
+	if !found {
+		return 0, 0, false
+	}
+	return e.nearCompleted, e.invalidations, true
+}

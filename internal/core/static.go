@@ -1,0 +1,74 @@
+package core
+
+import (
+	"dynamo/internal/chi"
+	"dynamo/internal/memory"
+)
+
+// Static is a placement policy that depends only on the current coherence
+// state of the accessed line, exactly as in Table I of the paper. The
+// decision table is indexed by [UC, UD, SC, SD, I].
+type Static struct {
+	name  string
+	table [5]chi.Placement
+}
+
+var _ chi.Policy = (*Static)(nil)
+
+// NewStatic builds a custom static policy from a Table I-style row. The
+// substrate never consults policies for unique states, but the full row is
+// kept so tests can assert the published tables.
+func NewStatic(name string, uc, ud, sc, sd, i chi.Placement) *Static {
+	return &Static{name: name, table: [5]chi.Placement{uc, ud, sc, sd, i}}
+}
+
+// AllNear executes every AMO at the L1D. This is the default policy of SoCs
+// without far-AMO support and the baseline of every experiment.
+func AllNear() *Static {
+	return NewStatic("all-near", chi.Near, chi.Near, chi.Near, chi.Near, chi.Near)
+}
+
+// UniqueNear (existing, Neoverse) executes far unless the line is already
+// unique in the L1D.
+func UniqueNear() *Static {
+	return NewStatic("unique-near", chi.Near, chi.Near, chi.Far, chi.Far, chi.Far)
+}
+
+// PresentNear (proposed) executes near whenever the line is present in any
+// state, and far only on invalid lines. The paper finds it is the best
+// static policy.
+func PresentNear() *Static {
+	return NewStatic("present-near", chi.Near, chi.Near, chi.Near, chi.Near, chi.Far)
+}
+
+// DirtyNear (proposed) executes near for unique and SharedDirty lines —
+// the last writer of a producer-consumer line is likely the next writer.
+func DirtyNear() *Static {
+	return NewStatic("dirty-near", chi.Near, chi.Near, chi.Far, chi.Near, chi.Far)
+}
+
+// SharedFar (proposed) executes far only for shared states, fetching
+// invalid lines on the assumption they were merely evicted.
+func SharedFar() *Static {
+	return NewStatic("shared-far", chi.Near, chi.Near, chi.Far, chi.Far, chi.Near)
+}
+
+// Name implements chi.Policy.
+func (s *Static) Name() string { return s.name }
+
+// Decide implements chi.Policy by indexing the Table I row.
+func (s *Static) Decide(_ int, _ memory.Line, st memory.State) chi.Placement {
+	return s.table[stateIndex(st)]
+}
+
+// Table returns the policy's decision row in Table I column order
+// (UC, UD, SC, SD, I).
+func (s *Static) Table() [5]chi.Placement { return s.table }
+
+// Static policies learn nothing from cache events.
+
+func (s *Static) OnNearComplete(int, memory.Line) {}
+func (s *Static) OnFill(int, memory.Line, bool)   {}
+func (s *Static) OnHit(int, memory.Line)          {}
+func (s *Static) OnEvict(int, memory.Line)        {}
+func (s *Static) OnInvalidate(int, memory.Line)   {}

@@ -1,0 +1,97 @@
+// Package energy estimates dynamic energy from simulation event counts,
+// standing in for the McPAT flow the paper uses (Section VI-A). The model
+// charges a fixed per-event energy to each structure; absolute joules are
+// not meaningful, but ratios between policies are, which is all the paper's
+// Section VI-E energy claims rely on.
+package energy
+
+import "fmt"
+
+// Model holds per-event energies in picojoules. The defaults are
+// plausibility-ordered for a 22nm-class node: SRAM data arrays dominate
+// over small buffers, DRAM dominates everything, and NoC energy scales
+// with flit-hops.
+type Model struct {
+	L1AccessPJ     float64
+	L2AccessPJ     float64
+	LLCAccessPJ    float64
+	DirLookupPJ    float64
+	AMOBufAccessPJ float64
+	ALUOpPJ        float64
+	FlitHopPJ      float64
+	MemAccessPJ    float64
+}
+
+// DefaultModel returns the standard constants.
+func DefaultModel() Model {
+	return Model{
+		L1AccessPJ:     10,
+		L2AccessPJ:     25,
+		LLCAccessPJ:    60,
+		DirLookupPJ:    5,
+		AMOBufAccessPJ: 3,
+		ALUOpPJ:        2,
+		FlitHopPJ:      4,
+		MemAccessPJ:    220,
+	}
+}
+
+// Validate rejects non-positive constants.
+func (m Model) Validate() error {
+	for _, v := range []float64{m.L1AccessPJ, m.L2AccessPJ, m.LLCAccessPJ, m.DirLookupPJ,
+		m.AMOBufAccessPJ, m.ALUOpPJ, m.FlitHopPJ, m.MemAccessPJ} {
+		if v <= 0 {
+			return fmt.Errorf("energy: non-positive per-event energy %g", v)
+		}
+	}
+	return nil
+}
+
+// Events are the activity counts a run produced.
+type Events struct {
+	L1Accesses     uint64
+	L2Accesses     uint64
+	LLCAccesses    uint64
+	DirLookups     uint64
+	AMOBufAccesses uint64
+	ALUOps         uint64
+	FlitHops       uint64
+	MemAccesses    uint64
+}
+
+// Add accumulates other into e.
+func (e *Events) Add(other Events) {
+	e.L1Accesses += other.L1Accesses
+	e.L2Accesses += other.L2Accesses
+	e.LLCAccesses += other.LLCAccesses
+	e.DirLookups += other.DirLookups
+	e.AMOBufAccesses += other.AMOBufAccesses
+	e.ALUOps += other.ALUOps
+	e.FlitHops += other.FlitHops
+	e.MemAccesses += other.MemAccesses
+}
+
+// Breakdown is dynamic energy per component, in picojoules.
+type Breakdown struct {
+	Caches float64 // L1 + L2 + LLC + AMO buffer
+	NoC    float64 // routers and links (flit-hops) + directory
+	Memory float64 // HBM accesses
+	ALU    float64 // far-AMO operations
+}
+
+// Total returns the summed energy in picojoules.
+func (b Breakdown) Total() float64 { return b.Caches + b.NoC + b.Memory + b.ALU }
+
+// Compute converts event counts into an energy breakdown.
+func (m Model) Compute(e Events) Breakdown {
+	return Breakdown{
+		Caches: float64(e.L1Accesses)*m.L1AccessPJ +
+			float64(e.L2Accesses)*m.L2AccessPJ +
+			float64(e.LLCAccesses)*m.LLCAccessPJ +
+			float64(e.AMOBufAccesses)*m.AMOBufAccessPJ,
+		NoC: float64(e.FlitHops)*m.FlitHopPJ +
+			float64(e.DirLookups)*m.DirLookupPJ,
+		Memory: float64(e.MemAccesses) * m.MemAccessPJ,
+		ALU:    float64(e.ALUOps) * m.ALUOpPJ,
+	}
+}

@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.FlitHopPJ = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero constant accepted")
+	}
+}
+
+func TestComputeBreakdown(t *testing.T) {
+	m := Model{
+		L1AccessPJ: 1, L2AccessPJ: 2, LLCAccessPJ: 3, DirLookupPJ: 4,
+		AMOBufAccessPJ: 5, ALUOpPJ: 6, FlitHopPJ: 7, MemAccessPJ: 8,
+	}
+	b := m.Compute(Events{
+		L1Accesses: 1, L2Accesses: 1, LLCAccesses: 1, DirLookups: 1,
+		AMOBufAccesses: 1, ALUOps: 1, FlitHops: 1, MemAccesses: 1,
+	})
+	if b.Caches != 1+2+3+5 {
+		t.Errorf("Caches = %g", b.Caches)
+	}
+	if b.NoC != 7+4 {
+		t.Errorf("NoC = %g", b.NoC)
+	}
+	if b.Memory != 8 {
+		t.Errorf("Memory = %g", b.Memory)
+	}
+	if b.ALU != 6 {
+		t.Errorf("ALU = %g", b.ALU)
+	}
+	if b.Total() != 36 {
+		t.Errorf("Total = %g, want 36", b.Total())
+	}
+}
+
+func TestEventsAdd(t *testing.T) {
+	a := Events{L1Accesses: 1, FlitHops: 2, MemAccesses: 3}
+	a.Add(Events{L1Accesses: 10, FlitHops: 20, MemAccesses: 30, ALUOps: 5})
+	if a.L1Accesses != 11 || a.FlitHops != 22 || a.MemAccesses != 33 || a.ALUOps != 5 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}
+
+// Property: energy is monotone and additive in events.
+func TestEnergyLinearityProperty(t *testing.T) {
+	m := DefaultModel()
+	mk := func(raw [8]uint32) Events {
+		return Events{
+			L1Accesses: uint64(raw[0]), L2Accesses: uint64(raw[1]),
+			LLCAccesses: uint64(raw[2]), DirLookups: uint64(raw[3]),
+			AMOBufAccesses: uint64(raw[4]), ALUOps: uint64(raw[5]),
+			FlitHops: uint64(raw[6]), MemAccesses: uint64(raw[7]),
+		}
+	}
+	f := func(rawA, rawB [8]uint32) bool {
+		a, b := mk(rawA), mk(rawB)
+		ta := m.Compute(a).Total()
+		tb := m.Compute(b).Total()
+		sum := a
+		sum.Add(b)
+		tsum := m.Compute(sum).Total()
+		eps := 1e-9*(ta+tb) + 1e-6
+		return tsum >= ta-eps && tsum >= tb-eps && (tsum-(ta+tb)) < eps && (ta+tb-tsum) < eps
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

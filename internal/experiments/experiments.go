@@ -1,0 +1,292 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment returns its data as a formatted
+// table plus machine-readable rows; the dynamo-experiments command prints
+// them, and EXPERIMENTS.md records paper-vs-measured values.
+//
+// Independent simulations run concurrently on host cores; each simulation
+// is itself single-threaded and deterministic, so results are reproducible
+// regardless of the worker count.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/sim"
+	"dynamo/internal/stats"
+	"dynamo/internal/workload"
+)
+
+// Options configures a suite run.
+type Options struct {
+	// Threads is the worker-thread count per simulation (default 32, the
+	// paper's core count).
+	Threads int
+	// Seed drives workload generation (default 1).
+	Seed int64
+	// Scale multiplies workload sizes (default 1.0). Benchmarks use small
+	// scales.
+	Scale float64
+	// Workers bounds concurrent simulations (default: host cores).
+	Workers int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) fill() Options {
+	if o.Threads == 0 {
+		o.Threads = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+// Suite runs experiments with memoized simulation results, so Best Static
+// bars and shared baselines are computed once.
+type Suite struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[runKey]*runOutcome
+}
+
+type runKey struct {
+	workload string
+	policy   string
+	input    string
+	threads  int
+	// sysVariant names a non-default system configuration (Fig. 10/11).
+	sysVariant string
+}
+
+type runOutcome struct {
+	res *machine.Result
+	err error
+}
+
+// NewSuite builds a suite.
+func NewSuite(o Options) *Suite {
+	return &Suite{opts: o.fill(), cache: make(map[runKey]*runOutcome)}
+}
+
+// Opts returns the effective options.
+func (s *Suite) Opts() Options { return s.opts }
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, format+"\n", args...)
+	}
+}
+
+// sysVariants maps variant names to configuration mutations.
+func sysVariant(name string, cfg *machine.Config) error {
+	switch name {
+	case "", "base":
+	case "noc-1c":
+		cfg.Chi.Mesh.RouteLatency = 0
+		cfg.Chi.Mesh.LinkLatency = 1
+	case "noc-3c":
+		cfg.Chi.Mesh.RouteLatency = 2
+		cfg.Chi.Mesh.LinkLatency = 1
+	case "half-lat":
+		cfg.Chi.Mem.Latency /= 2
+	case "double-lat":
+		cfg.Chi.Mem.Latency *= 2
+	default:
+		var n int
+		switch {
+		case scanInt(name, "amobuf-%d", &n):
+			cfg.Chi.AMOBufEntries = n
+		case scanInt(name, "maxatomics-%d", &n):
+			cfg.CPU.MaxAtomics = n
+		case scanInt(name, "occupancy-%d", &n):
+			cfg.Chi.FarAMOOccupancy = sim.Tick(n)
+		case scanInt(name, "prefetch-%d", &n):
+			cfg.Chi.PrefetchDegree = n
+		default:
+			// AMT variants: amt-e<entries>-w<ways>-c<counter>.
+			var e, w, c int
+			if _, err := fmt.Sscanf(name, "amt-e%d-w%d-c%d", &e, &w, &c); err != nil {
+				return fmt.Errorf("experiments: unknown system variant %q", name)
+			}
+			cfg.AMT = core.AMTConfig{Entries: e, Ways: w, CounterMax: c}
+		}
+	}
+	return nil
+}
+
+// scanInt parses a single-integer variant name.
+func scanInt(name, format string, out *int) bool {
+	_, err := fmt.Sscanf(name, format, out)
+	return err == nil
+}
+
+// run executes (or recalls) one simulation.
+func (s *Suite) run(key runKey) (*machine.Result, error) {
+	if key.sysVariant == "base" {
+		key.sysVariant = "" // the base system shares cache entries
+	}
+	s.mu.Lock()
+	if out, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return out.res, out.err
+	}
+	s.mu.Unlock()
+
+	res, err := s.execute(key)
+
+	s.mu.Lock()
+	s.cache[key] = &runOutcome{res: res, err: err}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s(%s): %w", key.workload, key.policy, key.input, err)
+	}
+	return res, nil
+}
+
+func (s *Suite) execute(key runKey) (*machine.Result, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Policy = key.policy
+	if err := sysVariant(key.sysVariant, &cfg); err != nil {
+		return nil, err
+	}
+	spec, err := workload.Get(key.workload)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: key.threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+		Input:   key.input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	s.logf("  ran %-12s %-16s %-8s variant=%-14s %10d cycles", key.workload, key.policy, key.input, key.sysVariant, res.Cycles)
+	return res, nil
+}
+
+// parallel runs jobs on the worker pool, returning the first error.
+func (s *Suite) parallel(jobs []func() error) error {
+	sem := make(chan struct{}, s.opts.Workers)
+	errc := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		job := job
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errc <- job()
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetch warms the cache for a set of keys in parallel.
+func (s *Suite) prefetch(keys []runKey) error {
+	jobs := make([]func() error, len(keys))
+	for i, k := range keys {
+		k := k
+		jobs[i] = func() error { _, err := s.run(k); return err }
+	}
+	return s.parallel(jobs)
+}
+
+// classSets returns the workload names of the LMH, MH and H sets.
+func classSets() (lmh, mh, h []string) {
+	for _, spec := range workload.All() {
+		lmh = append(lmh, spec.Name)
+		if spec.Class == workload.Medium || spec.Class == workload.High {
+			mh = append(mh, spec.Name)
+		}
+		if spec.Class == workload.High {
+			h = append(h, spec.Name)
+		}
+	}
+	return lmh, mh, h
+}
+
+// geomeanOver computes the geometric-mean speedup of a policy over the
+// baseline across the given workloads, from cached results.
+func (s *Suite) geomeanOver(names []string, speedups map[string]float64) float64 {
+	xs := make([]float64, 0, len(names))
+	for _, n := range names {
+		if v, ok := speedups[n]; ok {
+			xs = append(xs, v)
+		}
+	}
+	return stats.Geomean(xs)
+}
+
+// Experiment describes one runnable experiment for the CLI.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Suite) (*stats.Table, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: near vs far AMO throughput", (*Suite).Figure1},
+		{"table1", "Table I: static AMO policies", (*Suite).TableI},
+		{"table2", "Table II: system configuration", (*Suite).TableII},
+		{"table3", "Table III: benchmark characteristics", (*Suite).TableIII},
+		{"fig6", "Figure 6: AMOs per kilo-instruction", (*Suite).Figure6},
+		{"fig7", "Figure 7: static policy speed-ups", (*Suite).Figure7},
+		{"fig8", "Figure 8: DynAMO speed-ups", (*Suite).Figure8},
+		{"fig9", "Figure 9: input sensitivity", (*Suite).Figure9},
+		{"energy", "Section VI-E: dynamic energy", (*Suite).Energy},
+		{"fig10", "Figure 10: AMT sizing", (*Suite).Figure10},
+		{"hwcost", "Section VI-G: hardware cost", (*Suite).HardwareCost},
+		{"fig11", "Figure 11: system design space", (*Suite).Figure11},
+		{"table4", "Table IV: synchronization alternatives", (*Suite).TableIV},
+		{"ablation", "Ablations: AMO buffer, atomic queue, HN pipeline, prefetcher", (*Suite).Ablations},
+		{"dse", "Section IV: static-policy design space (8 practical candidates)", (*Suite).DesignSpace},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

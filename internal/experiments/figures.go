@@ -1,0 +1,511 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/stats"
+	"dynamo/internal/workload"
+)
+
+// Figure1 reproduces the shared-counter throughput comparison: Atomic-Near
+// (all-near policy), AtomicLoad-Far and AtomicStore-Far (unique-near
+// policy, which sends every non-unique AMO to the home node) across thread
+// counts. Throughput is updates per kilo-cycle.
+func (s *Suite) Figure1() (*stats.Table, error) {
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	ops := 400
+	if s.opts.Scale < 1 {
+		ops = int(float64(ops)*s.opts.Scale) + 1
+	}
+	type variant struct {
+		name     string
+		policy   string
+		noReturn bool
+	}
+	variants := []variant{
+		// The same stadd instruction everywhere; only the placement and
+		// the far transaction type (return value or not) differ.
+		{"Atomic-Near", "all-near", true},
+		{"AtomicLoad-Far", "unique-near", false},
+		{"AtomicStore-Far", "unique-near", true},
+	}
+	results := make(map[string]map[int]float64)
+	var jobs []func() error
+	var mu sync.Mutex
+	for _, v := range variants {
+		results[v.name] = make(map[int]float64)
+		for _, tc := range threadCounts {
+			v, tc := v, tc
+			jobs = append(jobs, func() error {
+				res, err := s.runCounter(v.policy, tc, ops, v.noReturn)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				results[v.name][tc] = float64(tc*ops) / float64(res.Cycles) * 1000
+				return nil
+			})
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"threads", "Atomic-Near", "AtomicLoad-Far", "AtomicStore-Far"}}
+	for _, tc := range threadCounts {
+		t.AddRow(fmt.Sprint(tc),
+			stats.F(results["Atomic-Near"][tc]),
+			stats.F(results["AtomicLoad-Far"][tc]),
+			stats.F(results["AtomicStore-Far"][tc]))
+	}
+	return t, nil
+}
+
+// runCounter executes the Fig. 1 microbenchmark outside the workload
+// registry cache (it is parameterized by thread count).
+func (s *Suite) runCounter(policy string, threads, ops int, noReturn bool) (*machine.Result, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Policy = policy
+	inst, err := workload.Counter(threads, ops, noReturn, 8)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Figure6 reproduces the APKI characterization: AMOs per kilo-instruction
+// per workload, split into AtomicLoads and AtomicStores, with the L/M/H
+// class each workload lands in.
+func (s *Suite) Figure6() (*stats.Table, error) {
+	var keys []runKey
+	for _, spec := range workload.All() {
+		keys = append(keys, runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads})
+	}
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"workload", "code", "APKI", "ldAPKI", "stAPKI", "class"}}
+	for _, spec := range workload.All() {
+		res, err := s.run(runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads})
+		if err != nil {
+			return nil, err
+		}
+		ld := float64(res.AMOLoads) / float64(res.Instructions) * 1000
+		st := float64(res.AMOStores) / float64(res.Instructions) * 1000
+		t.AddRow(spec.Name, spec.Code, stats.F(res.APKI), stats.F(ld), stats.F(st), spec.Class.String())
+	}
+	return t, nil
+}
+
+// speedups computes per-workload speedups of a policy versus the all-near
+// baseline from cached runs.
+func (s *Suite) speedups(policy, variant string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, spec := range workload.All() {
+		base, err := s.run(runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads})
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.run(runKey{workload: spec.Name, policy: policy, threads: s.opts.Threads, sysVariant: variant})
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = stats.Speedup(uint64(base.Cycles), uint64(res.Cycles))
+	}
+	return out, nil
+}
+
+// prefetchPolicies warms the cache for a set of policies over all
+// workloads.
+func (s *Suite) prefetchPolicies(policies []string, variant string) error {
+	var keys []runKey
+	for _, spec := range workload.All() {
+		keys = append(keys, runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads})
+		for _, p := range policies {
+			keys = append(keys, runKey{workload: spec.Name, policy: p, threads: s.opts.Threads, sysVariant: variant})
+		}
+	}
+	return s.prefetch(keys)
+}
+
+// staticPolicyList is Fig. 7's policy order.
+var staticPolicyList = []string{"unique-near", "present-near", "dirty-near", "shared-far"}
+
+// Figure7 reproduces the static-policy comparison: speedups of each static
+// policy and the per-workload Best Static versus All Near, with LMH/MH/H
+// geomeans.
+func (s *Suite) Figure7() (*stats.Table, error) {
+	if err := s.prefetchPolicies(staticPolicyList, ""); err != nil {
+		return nil, err
+	}
+	per := make(map[string]map[string]float64)
+	for _, p := range staticPolicyList {
+		sp, err := s.speedups(p, "")
+		if err != nil {
+			return nil, err
+		}
+		per[p] = sp
+	}
+	best := make(map[string]float64)
+	for _, spec := range workload.All() {
+		b := 1.0 // all-near itself
+		for _, p := range staticPolicyList {
+			if v := per[p][spec.Name]; v > b {
+				b = v
+			}
+		}
+		best[spec.Name] = b
+	}
+	t := &stats.Table{Header: []string{"workload", "class", "unique-near", "present-near", "dirty-near", "shared-far", "best-static"}}
+	for _, spec := range workload.All() {
+		t.AddRow(spec.Name, spec.Class.String(),
+			stats.F(per["unique-near"][spec.Name]),
+			stats.F(per["present-near"][spec.Name]),
+			stats.F(per["dirty-near"][spec.Name]),
+			stats.F(per["shared-far"][spec.Name]),
+			stats.F(best[spec.Name]))
+	}
+	lmh, mh, h := classSets()
+	for _, set := range []struct {
+		name  string
+		names []string
+	}{{"geomean-LMH", lmh}, {"geomean-MH", mh}, {"geomean-H", h}} {
+		t.AddRow(set.name, "",
+			stats.F(s.geomeanOver(set.names, per["unique-near"])),
+			stats.F(s.geomeanOver(set.names, per["present-near"])),
+			stats.F(s.geomeanOver(set.names, per["dirty-near"])),
+			stats.F(s.geomeanOver(set.names, per["shared-far"])),
+			stats.F(s.geomeanOver(set.names, best)))
+	}
+	return t, nil
+}
+
+// dynamoPolicyList is Fig. 8's policy order.
+var dynamoPolicyList = []string{"dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn"}
+
+// Figure8 reproduces the DynAMO comparison: speedups of the three
+// predictors and Best Static versus All Near.
+func (s *Suite) Figure8() (*stats.Table, error) {
+	if err := s.prefetchPolicies(append(append([]string{}, staticPolicyList...), dynamoPolicyList...), ""); err != nil {
+		return nil, err
+	}
+	per := make(map[string]map[string]float64)
+	for _, p := range append(append([]string{}, staticPolicyList...), dynamoPolicyList...) {
+		sp, err := s.speedups(p, "")
+		if err != nil {
+			return nil, err
+		}
+		per[p] = sp
+	}
+	best := make(map[string]float64)
+	for _, spec := range workload.All() {
+		b := 1.0
+		for _, p := range staticPolicyList {
+			if v := per[p][spec.Name]; v > b {
+				b = v
+			}
+		}
+		best[spec.Name] = b
+	}
+	t := &stats.Table{Header: []string{"workload", "class", "dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn", "best-static"}}
+	for _, spec := range workload.All() {
+		t.AddRow(spec.Name, spec.Class.String(),
+			stats.F(per["dynamo-metric"][spec.Name]),
+			stats.F(per["dynamo-reuse-un"][spec.Name]),
+			stats.F(per["dynamo-reuse-pn"][spec.Name]),
+			stats.F(best[spec.Name]))
+	}
+	lmh, mh, h := classSets()
+	for _, set := range []struct {
+		name  string
+		names []string
+	}{{"geomean-LMH", lmh}, {"geomean-MH", mh}, {"geomean-H", h}} {
+		t.AddRow(set.name, "",
+			stats.F(s.geomeanOver(set.names, per["dynamo-metric"])),
+			stats.F(s.geomeanOver(set.names, per["dynamo-reuse-un"])),
+			stats.F(s.geomeanOver(set.names, per["dynamo-reuse-pn"])),
+			stats.F(s.geomeanOver(set.names, best)))
+	}
+	return t, nil
+}
+
+// Figure9 reproduces the input-sensitivity study: SPMV with JP vs rma10
+// and HIST with NASA vs BMP24, under the best static policy for the
+// default input (unique-near) and DynAMO-Reuse-PN, versus All Near.
+func (s *Suite) Figure9() (*stats.Table, error) {
+	cases := []struct {
+		wl    string
+		input string
+	}{
+		{"spmv", "JP"}, {"spmv", "rma10"},
+		{"histogram", "NASA"}, {"histogram", "BMP24"},
+	}
+	policies := []string{"all-near", "unique-near", "dynamo-reuse-pn"}
+	var keys []runKey
+	for _, c := range cases {
+		for _, p := range policies {
+			keys = append(keys, runKey{workload: c.wl, policy: p, input: c.input, threads: s.opts.Threads})
+		}
+	}
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"workload", "input", "unique-near", "dynamo-reuse-pn"}}
+	for _, c := range cases {
+		base, err := s.run(runKey{workload: c.wl, policy: "all-near", input: c.input, threads: s.opts.Threads})
+		if err != nil {
+			return nil, err
+		}
+		row := []string{c.wl, c.input}
+		for _, p := range policies[1:] {
+			res, err := s.run(runKey{workload: c.wl, policy: p, input: c.input, threads: s.opts.Threads})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.F(stats.Speedup(uint64(base.Cycles), uint64(res.Cycles))))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure10 reproduces the AMT sizing study on the AMO-intensive (High)
+// workloads: entry count, associativity and counter-size sweeps of
+// DynAMO-Reuse-PN, as geomean speedup over All Near.
+func (s *Suite) Figure10() (*stats.Table, error) {
+	_, _, high := classSets()
+	type cfg struct {
+		label   string
+		variant string
+	}
+	var cfgs []cfg
+	for _, e := range []int{32, 64, 128, 256, 512} {
+		cfgs = append(cfgs, cfg{fmt.Sprintf("entries=%d", e), fmt.Sprintf("amt-e%d-w4-c32", e)})
+	}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		cfgs = append(cfgs, cfg{fmt.Sprintf("ways=%d", w), fmt.Sprintf("amt-e128-w%d-c32", w)})
+	}
+	for _, c := range []int{8, 16, 32, 64, 128} {
+		cfgs = append(cfgs, cfg{fmt.Sprintf("counter=%d", c), fmt.Sprintf("amt-e128-w4-c%d", c)})
+	}
+	var keys []runKey
+	for _, wl := range high {
+		keys = append(keys, runKey{workload: wl, policy: "all-near", threads: s.opts.Threads})
+		for _, c := range cfgs {
+			keys = append(keys, runKey{workload: wl, policy: "dynamo-reuse-pn", threads: s.opts.Threads, sysVariant: c.variant})
+		}
+	}
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"config", "geomean-H-speedup"}}
+	for _, c := range cfgs {
+		var xs []float64
+		for _, wl := range high {
+			base, err := s.run(runKey{workload: wl, policy: "all-near", threads: s.opts.Threads})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.run(runKey{workload: wl, policy: "dynamo-reuse-pn", threads: s.opts.Threads, sysVariant: c.variant})
+			if err != nil {
+				return nil, err
+			}
+			xs = append(xs, stats.Speedup(uint64(base.Cycles), uint64(res.Cycles)))
+		}
+		t.AddRow(c.label, stats.F(stats.Geomean(xs)))
+	}
+	return t, nil
+}
+
+// Figure11 reproduces the system design-space exploration: the geomean
+// speedup of DynAMO-Reuse-PN over All Near per APKI set, on the base
+// system, 1- and 3-cycle NoC hops, and halved/doubled memory latency.
+func (s *Suite) Figure11() (*stats.Table, error) {
+	variants := []string{"base", "noc-1c", "noc-3c", "half-lat", "double-lat"}
+	var keys []runKey
+	for _, spec := range workload.All() {
+		for _, v := range variants {
+			keys = append(keys,
+				runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads, sysVariant: v},
+				runKey{workload: spec.Name, policy: "dynamo-reuse-pn", threads: s.opts.Threads, sysVariant: v})
+		}
+	}
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	lmh, mh, h := classSets()
+	t := &stats.Table{Header: []string{"system", "geomean-LMH", "geomean-MH", "geomean-H"}}
+	for _, v := range variants {
+		sp := make(map[string]float64)
+		for _, spec := range workload.All() {
+			base, err := s.run(runKey{workload: spec.Name, policy: "all-near", threads: s.opts.Threads, sysVariant: v})
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.run(runKey{workload: spec.Name, policy: "dynamo-reuse-pn", threads: s.opts.Threads, sysVariant: v})
+			if err != nil {
+				return nil, err
+			}
+			sp[spec.Name] = stats.Speedup(uint64(base.Cycles), uint64(res.Cycles))
+		}
+		t.AddRow(v,
+			stats.F(s.geomeanOver(lmh, sp)),
+			stats.F(s.geomeanOver(mh, sp)),
+			stats.F(s.geomeanOver(h, sp)))
+	}
+	return t, nil
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out, each on the
+// workload most sensitive to it: the home node's AMO buffer (Section
+// III-B2), the core's bounded atomic queue, the far-AMO pipeline occupancy
+// and the optional stride prefetcher. Each row reports the speedup of the
+// configured system over the ablated one.
+func (s *Suite) Ablations() (*stats.Table, error) {
+	type row struct {
+		name     string
+		workload string
+		policy   string
+		baseline string // ablated variant
+		variant  string // configured variant ("" = default system)
+	}
+	rows := []row{
+		{"AMO buffer (16 vs 1 entries)", "radixsort", "unique-near", "amobuf-1", ""},
+		{"atomic queue (2 vs 16 outstanding)", "histogram", "all-near", "maxatomics-16", ""},
+		{"HN atomic pipeline (8 vs 32 cycles)", "histogram", "unique-near", "occupancy-32", ""},
+		{"stride prefetcher (8 vs off)", "histogram", "all-near", "", "prefetch-8"},
+	}
+	var keys []runKey
+	for _, r := range rows {
+		keys = append(keys,
+			runKey{workload: r.workload, policy: r.policy, threads: s.opts.Threads, sysVariant: r.baseline},
+			runKey{workload: r.workload, policy: r.policy, threads: s.opts.Threads, sysVariant: r.variant})
+	}
+	if err := s.prefetch(keys); err != nil {
+		return nil, err
+	}
+	t := &stats.Table{Header: []string{"design choice", "workload", "policy", "speedup"}}
+	for _, r := range rows {
+		ablated, err := s.run(runKey{workload: r.workload, policy: r.policy, threads: s.opts.Threads, sysVariant: r.baseline})
+		if err != nil {
+			return nil, err
+		}
+		configured, err := s.run(runKey{workload: r.workload, policy: r.policy, threads: s.opts.Threads, sysVariant: r.variant})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.name, r.workload, r.policy,
+			stats.F(stats.Speedup(uint64(ablated.Cycles), uint64(configured.Cycles))))
+	}
+	return t, nil
+}
+
+// dseWorkloads is the representative subset Section IV's exploration is
+// evaluated on: one per behaviour group (mutex-bound, contended queue,
+// graph traversal, streaming scatter, mixed kernel).
+var dseWorkloads = []string{"barnes", "radiosity", "bfs", "histogram", "radixsort", "spmv"}
+
+// DesignSpace evaluates all eight practical static policies of Section IV
+// (the 2^3 SC/SD/I decision combinations; far-on-unique candidates are
+// pathological and excluded) and reports their geomean speedups over All
+// Near on a representative workload subset, demonstrating why the paper
+// keeps only five: the three unnamed candidates track their named
+// neighbours.
+func (s *Suite) DesignSpace() (*stats.Table, error) {
+	policies := core.PracticalDesignSpace()
+	type cell struct {
+		cycles map[string]uint64
+	}
+	results := make(map[string]cell)
+	var mu sync.Mutex
+	var jobs []func() error
+	for _, p := range policies {
+		p := p
+		results[p.Name()] = cell{cycles: make(map[string]uint64)}
+		for _, wl := range dseWorkloads {
+			wl := wl
+			jobs = append(jobs, func() error {
+				res, err := s.runWithPolicy(p, wl)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				results[p.Name()].cycles[wl] = uint64(res.Cycles)
+				return nil
+			})
+		}
+	}
+	if err := s.parallel(jobs); err != nil {
+		return nil, err
+	}
+	// All Near is the dse policy with the all-near row.
+	var baseName string
+	for _, p := range policies {
+		if core.CanonicalName(p) == "all-near" {
+			baseName = p.Name()
+		}
+	}
+	t := &stats.Table{Header: []string{"decisions (UC UD SC SD I)", "published name", "geomean-speedup"}}
+	for _, p := range policies {
+		var xs []float64
+		for _, wl := range dseWorkloads {
+			base := results[baseName].cycles[wl]
+			mine := results[p.Name()].cycles[wl]
+			xs = append(xs, stats.Speedup(base, mine))
+		}
+		name := core.CanonicalName(p)
+		if name == "" {
+			name = "(unnamed)"
+		}
+		t.AddRow(core.DecisionString(p), name, stats.F(stats.Geomean(xs)))
+	}
+	return t, nil
+}
+
+// runWithPolicy executes one workload under an explicit policy object
+// (design-space candidates are not in the registry, so these runs bypass
+// the suite cache).
+func (s *Suite) runWithPolicy(p *core.Static, wl string) (*machine.Result, error) {
+	spec, err := workload.Get(wl)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{Threads: s.opts.Threads, Seed: s.opts.Seed, Scale: s.opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.NewWithPolicy(machine.DefaultConfig(), p)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, err
+	}
+	s.logf("  ran %-12s %-16s %10d cycles", wl, p.Name(), res.Cycles)
+	return res, nil
+}

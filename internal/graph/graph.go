@@ -1,0 +1,350 @@
+// Package graph provides the compressed-sparse-row graphs, synthetic
+// generators and serial reference algorithms behind the Galois- and
+// GAP-style workloads. The generators stand in for the paper's inputs: Grid
+// produces road-network-like graphs (the DIMACS USA/FLA/NY family), and
+// Kronecker produces the power-law graphs GAP uses.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an unweighted or weighted directed graph in CSR form. For the
+// undirected generators every edge appears in both directions.
+type Graph struct {
+	N       int
+	Offsets []int32 // len N+1
+	Edges   []int32
+	Weights []int32 // len(Edges) or nil for unweighted graphs
+}
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v (and the parallel weights,
+// nil for unweighted graphs).
+func (g *Graph) Neighbors(v int) ([]int32, []int32) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	if g.Weights == nil {
+		return g.Edges[lo:hi], nil
+	}
+	return g.Edges[lo:hi], g.Weights[lo:hi]
+}
+
+// Validate checks structural consistency.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: %d offsets for %d nodes", len(g.Offsets), g.N)
+	}
+	if g.Offsets[0] != 0 || int(g.Offsets[g.N]) != len(g.Edges) {
+		return fmt.Errorf("graph: offset bounds [%d,%d] vs %d edges", g.Offsets[0], g.Offsets[g.N], len(g.Edges))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: decreasing offsets at %d", v)
+		}
+	}
+	for _, e := range g.Edges {
+		if e < 0 || int(e) >= g.N {
+			return fmt.Errorf("graph: edge target %d out of range", e)
+		}
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+	}
+	return nil
+}
+
+// fromAdjacency builds CSR from per-node edge lists.
+func fromAdjacency(adj [][]int32, wadj [][]int32) *Graph {
+	g := &Graph{N: len(adj), Offsets: make([]int32, len(adj)+1)}
+	for v, es := range adj {
+		g.Offsets[v+1] = g.Offsets[v] + int32(len(es))
+		g.Edges = append(g.Edges, es...)
+		if wadj != nil {
+			g.Weights = append(g.Weights, wadj[v]...)
+		}
+	}
+	return g
+}
+
+// Grid generates a road-network-like graph: a w x h lattice with 4-neighbor
+// connectivity, random positive weights, and a few random long-range
+// shortcuts, mimicking the diameter and degree profile of the DIMACS road
+// inputs.
+func Grid(w, h int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	adj := make([][]int32, n)
+	wadj := make([][]int32, n)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	addBoth := func(a, b int32, wt int32) {
+		adj[a] = append(adj[a], b)
+		wadj[a] = append(wadj[a], wt)
+		adj[b] = append(adj[b], a)
+		wadj[b] = append(wadj[b], wt)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addBoth(id(x, y), id(x+1, y), int32(1+rng.Intn(9)))
+			}
+			if y+1 < h {
+				addBoth(id(x, y), id(x, y+1), int32(1+rng.Intn(9)))
+			}
+		}
+	}
+	// Shortcuts: ~1% of nodes get a long-range edge (highways).
+	for i := 0; i < n/100; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			addBoth(a, b, int32(10+rng.Intn(20)))
+		}
+	}
+	return fromAdjacency(adj, wadj)
+}
+
+// Kronecker generates an R-MAT power-law graph with 2^scale nodes and
+// roughly edgeFactor*2^scale undirected edges, the construction the GAP
+// benchmark suite specifies. Self-loops and duplicate edges are removed.
+func Kronecker(scale, edgeFactor int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	type edge struct{ a, b int32 }
+	seen := make(map[edge]bool)
+	adj := make([][]int32, n)
+	const pa, pb, pc = 0.57, 0.19, 0.19 // standard Graph500 parameters
+	target := edgeFactor * n
+	for len(seen) < target {
+		a, b := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < pa:
+			case r < pa+pb:
+				b |= 1 << bit
+			case r < pa+pb+pc:
+				a |= 1 << bit
+			default:
+				a |= 1 << bit
+				b |= 1 << bit
+			}
+		}
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := edge{int32(a), int32(b)}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		adj[a] = append(adj[a], int32(b))
+		adj[b] = append(adj[b], int32(a))
+	}
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	}
+	return fromAdjacency(adj, nil)
+}
+
+// BFS returns the hop distance from src to every node (-1 if unreachable):
+// the serial reference for the BFS workload.
+func BFS(g *Graph, src int) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		es, _ := g.Neighbors(int(u))
+		for _, v := range es {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// distHeap is a min-heap for Dijkstra.
+type distItem struct {
+	node int32
+	d    int64
+}
+type distHeap []distItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// SSSP returns shortest-path distances from src (weighted graphs;
+// math.MaxInt64 sentinel is avoided by using -1 for unreachable): the
+// serial reference for SSSP/SPT workloads.
+func SSSP(g *Graph, src int) []int64 {
+	const inf = int64(1) << 62
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	h := &distHeap{{int32(src), 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		es, ws := g.Neighbors(int(it.node))
+		for i, v := range es {
+			w := int64(1)
+			if ws != nil {
+				w = int64(ws[i])
+			}
+			if nd := it.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, distItem{v, nd})
+			}
+		}
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// Components returns the connected-component label of every node (the
+// minimum node id in the component): the serial reference for CC.
+func Components(g *Graph) []int32 {
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = -1
+	}
+	for s := 0; s < g.N; s++ {
+		if label[s] != -1 {
+			continue
+		}
+		stack := []int32{int32(s)}
+		label[s] = int32(s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			es, _ := g.Neighbors(int(u))
+			for _, v := range es {
+				if label[v] == -1 {
+					label[v] = int32(s)
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return label
+}
+
+// Triangles counts triangles: the serial reference for TC. Edges must be
+// sorted per node (the generators guarantee this for Kronecker).
+func Triangles(g *Graph) uint64 {
+	var count uint64
+	for u := 0; u < g.N; u++ {
+		eu, _ := g.Neighbors(u)
+		for _, v := range eu {
+			if int(v) <= u {
+				continue
+			}
+			ev, _ := g.Neighbors(int(v))
+			// Intersect neighbors of u and v greater than v.
+			i, j := 0, 0
+			for i < len(eu) && j < len(ev) {
+				a, b := eu[i], ev[j]
+				switch {
+				case a == b:
+					if a > v {
+						count++
+					}
+					i++
+					j++
+				case a < b:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// KCore returns which nodes survive iterative k-core peeling: the serial
+// reference for KCORE.
+func KCore(g *Graph, k int) []bool {
+	deg := make([]int, g.N)
+	alive := make([]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		deg[v] = g.Degree(v)
+		alive[v] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if alive[v] && deg[v] < k {
+				alive[v] = false
+				changed = true
+				es, _ := g.Neighbors(v)
+				for _, u := range es {
+					deg[u]--
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// PageRank runs fixed-point integer PageRank for iters iterations with
+// damping 0.85 in fixed-point (x1024): the serial reference for PR. It
+// matches the parallel workload's arithmetic exactly so results compare
+// bit-for-bit.
+func PageRank(g *Graph, iters int) []int64 {
+	rank := make([]int64, g.N)
+	next := make([]int64, g.N)
+	const unit = int64(1 << 20)
+	for i := range rank {
+		rank[i] = unit
+	}
+	for it := 0; it < iters; it++ {
+		base := unit * 15 / 100
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < g.N; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := rank[u] * 85 / 100 / int64(d)
+			es, _ := g.Neighbors(u)
+			for _, v := range es {
+				next[v] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}

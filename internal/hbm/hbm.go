@@ -1,0 +1,94 @@
+// Package hbm models the main-memory backend: an HBM-style stack with
+// multiple independent channels, a fixed access latency and per-channel
+// bandwidth occupancy. Lines interleave across channels by line address,
+// matching the 8-channel HBM3 configuration of Table II.
+package hbm
+
+import (
+	"fmt"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+// Config describes the memory system.
+type Config struct {
+	Channels int
+	// Latency is the idle-channel access latency in core cycles.
+	Latency sim.Tick
+	// LineOccupancy is how long one 64-byte transfer occupies a channel, in
+	// cycles; it encodes per-channel bandwidth (e.g. 64 GB/s at a 2 GHz core
+	// clock moves 32 B/cycle, so a line occupies 2 cycles).
+	LineOccupancy sim.Tick
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Channels <= 0 {
+		return fmt.Errorf("hbm: %d channels", c.Channels)
+	}
+	if c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("hbm: channels %d not a power of two", c.Channels)
+	}
+	if c.Latency == 0 {
+		return fmt.Errorf("hbm: zero latency")
+	}
+	if c.LineOccupancy == 0 {
+		return fmt.Errorf("hbm: zero line occupancy")
+	}
+	return nil
+}
+
+// Stats counts memory traffic.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	QueueWait uint64 // cycles requests spent waiting for a busy channel
+}
+
+// Memory is the timing model. The functional data lives in memory.Store;
+// this type only answers "when is the line available".
+type Memory struct {
+	cfg      Config
+	nextFree []sim.Tick
+	stats    Stats
+}
+
+// New builds a memory model from cfg.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Memory{cfg: cfg, nextFree: make([]sim.Tick, cfg.Channels)}, nil
+}
+
+// Channel returns the channel that serves the line.
+func (m *Memory) Channel(line memory.Line) int {
+	return int(uint64(line) & uint64(m.cfg.Channels-1))
+}
+
+func (m *Memory) access(line memory.Line, now sim.Tick) sim.Tick {
+	ch := m.Channel(line)
+	start := now
+	if free := m.nextFree[ch]; free > start {
+		m.stats.QueueWait += uint64(free - start)
+		start = free
+	}
+	m.nextFree[ch] = start + m.cfg.LineOccupancy
+	return start + m.cfg.Latency
+}
+
+// Read returns the completion time of a line read issued at now.
+func (m *Memory) Read(line memory.Line, now sim.Tick) sim.Tick {
+	m.stats.Reads++
+	return m.access(line, now)
+}
+
+// Write returns the completion time of a line writeback issued at now.
+func (m *Memory) Write(line memory.Line, now sim.Tick) sim.Tick {
+	m.stats.Writes++
+	return m.access(line, now)
+}
+
+// Stats returns a copy of the accumulated counters.
+func (m *Memory) Stats() Stats { return m.stats }

@@ -1,0 +1,117 @@
+package hbm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+func mem(t testing.TB) *Memory {
+	t.Helper()
+	m, err := New(Config{Channels: 8, Latency: 100, LineOccupancy: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Channels: 0, Latency: 100, LineOccupancy: 2},
+		{Channels: 3, Latency: 100, LineOccupancy: 2},
+		{Channels: 8, Latency: 0, LineOccupancy: 2},
+		{Channels: 8, Latency: 100, LineOccupancy: 0},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestIdleLatency(t *testing.T) {
+	m := mem(t)
+	if got := m.Read(0, 1000); got != 1100 {
+		t.Fatalf("read completed at %d, want 1100", got)
+	}
+}
+
+func TestChannelInterleave(t *testing.T) {
+	m := mem(t)
+	seen := map[int]bool{}
+	for l := memory.Line(0); l < 8; l++ {
+		seen[m.Channel(l)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("8 consecutive lines map to %d channels, want 8", len(seen))
+	}
+}
+
+func TestSameChannelSerializes(t *testing.T) {
+	m := mem(t)
+	a := m.Read(0, 0)
+	b := m.Read(8, 0) // line 8 maps to the same channel as line 0
+	if b != a+2 {
+		t.Fatalf("second access completed at %d, want %d", b, a+2)
+	}
+	if m.Stats().QueueWait == 0 {
+		t.Fatal("no queue wait recorded")
+	}
+}
+
+func TestDifferentChannelsParallel(t *testing.T) {
+	m := mem(t)
+	a := m.Read(0, 0)
+	b := m.Read(1, 0)
+	if a != b {
+		t.Fatalf("independent channels serialized: %d vs %d", a, b)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := mem(t)
+	m.Read(0, 0)
+	m.Write(1, 0)
+	m.Write(2, 0)
+	s := m.Stats()
+	if s.Reads != 1 || s.Writes != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// Property: completion time is always >= issue + latency, and accesses to a
+// single channel are spaced by at least the occupancy.
+func TestTimingProperty(t *testing.T) {
+	f := func(lines []uint8) bool {
+		m := mem(t)
+		last := map[int]sim.Tick{}
+		now := sim.Tick(0)
+		for _, lr := range lines {
+			l := memory.Line(lr)
+			done := m.Read(l, now)
+			if done < now+100 {
+				return false
+			}
+			ch := m.Channel(l)
+			if prev, ok := last[ch]; ok && done-prev < 2 && done != prev {
+				return false
+			}
+			last[ch] = done
+			now++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	m := mem(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Read(memory.Line(i), sim.Tick(i))
+	}
+}

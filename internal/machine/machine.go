@@ -1,0 +1,284 @@
+// Package machine assembles the full simulated system — cores, request
+// nodes, home nodes, mesh and memory — from a single configuration
+// mirroring Table II of the paper, runs workload programs on it to
+// completion, and collects the statistics the experiment harness consumes.
+package machine
+
+import (
+	"fmt"
+
+	"dynamo/internal/chi"
+	"dynamo/internal/core"
+	"dynamo/internal/cpu"
+	"dynamo/internal/energy"
+	"dynamo/internal/hbm"
+	"dynamo/internal/noc"
+	"dynamo/internal/sim"
+	"dynamo/internal/stats"
+)
+
+// Config selects the system, the AMO placement policy, and run limits.
+type Config struct {
+	Chi    chi.Config
+	CPU    cpu.Config
+	AMT    core.AMTConfig
+	Policy string
+	// MaxEvents bounds a run; exceeding it returns ErrTimeout. Zero means
+	// the package default (500M events).
+	MaxEvents uint64
+	// Energy customizes the energy model; zero value selects the default.
+	Energy energy.Model
+}
+
+// DefaultConfig reproduces Table II scaled to cycle-level first-order
+// models: 32 Neoverse-like cores on an 8x8 mesh with 32 HN slices,
+// 64 KiB/4-way L1D (2-cycle), 512 KiB/8-way private L2 (8-cycle),
+// 32x1 MiB/8-way exclusive LLC (10-cycle data arrays), a 128-entry 4-way
+// AMT, and 8-channel HBM3-class memory.
+func DefaultConfig() Config {
+	return Config{
+		Chi: chi.Config{
+			Cores:           32,
+			HNSlices:        32,
+			L1Sets:          256, // 64 KiB / 64 B / 4 ways
+			L1Ways:          4,
+			L2Sets:          1024, // 512 KiB / 64 B / 8 ways
+			L2Ways:          8,
+			LLCSets:         2048, // 1 MiB / 64 B / 8 ways per slice
+			LLCWays:         8,
+			AMOBufEntries:   16,
+			L1Latency:       2,
+			L2Latency:       8,
+			DirLatency:      2,
+			LLCDataLatency:  10,
+			ALULatency:      1,
+			AMOBufLatency:   1,
+			FarAMOOccupancy: 8,
+			Mesh:            noc.Config{Width: 8, Height: 8, RouteLatency: 1, LinkLatency: 1},
+			Mem:             hbm.Config{Channels: 8, Latency: 100, LineOccupancy: 2},
+		},
+		CPU:    cpu.DefaultConfig(),
+		AMT:    core.DefaultAMTConfig(),
+		Policy: "all-near",
+	}
+}
+
+const defaultMaxEvents = 500_000_000
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Chi.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.AMT.Validate(); err != nil {
+		return err
+	}
+	if _, err := core.New(c.Policy, c.Chi.Cores, c.AMT); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ErrTimeout reports a run that exceeded its event budget.
+var ErrTimeout = fmt.Errorf("machine: run exceeded its event budget")
+
+// Result summarizes one completed run.
+type Result struct {
+	Policy string
+	// Cycles is the makespan: the cycle the last program finished.
+	Cycles sim.Tick
+	// Instructions is the total committed across all cores.
+	Instructions uint64
+	AMOs         uint64
+	AMOLoads     uint64 // value-returning AMOs
+	AMOStores    uint64 // no-return AMOs
+	NearLocal    uint64 // AMOs completed on an already-unique L1 line
+	NearTxn      uint64 // AMOs that fetched the line via ReadUnique
+	Far          uint64 // AMOs executed at the home node
+	// APKI is AMOs per kilo-instruction (Fig. 6's metric).
+	APKI float64
+	// AvgAMOLatency is the mean issue-to-complete AMO latency in cycles.
+	AvgAMOLatency float64
+	Events        energy.Events
+	Energy        energy.Breakdown
+	NoC           noc.Stats
+	Mem           hbm.Stats
+	// Detail carries every raw counter for reports and debugging.
+	Detail *stats.Group
+}
+
+// Machine is a built system ready to run one set of programs.
+type Machine struct {
+	Cfg    Config
+	Sys    *chi.System
+	Policy chi.Policy
+	model  energy.Model
+}
+
+// New builds a machine from cfg, constructing the policy from its
+// registered name.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := core.New(cfg.Policy, cfg.Chi.Cores, cfg.AMT)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPolicy(cfg, policy)
+}
+
+// NewWithPolicy builds a machine around an explicit policy object,
+// bypassing the name registry — used by the design-space exploration,
+// which evaluates unregistered Section IV candidates.
+func NewWithPolicy(cfg Config, policy chi.Policy) (*Machine, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("machine: nil policy")
+	}
+	cfg.Policy = policy.Name()
+	sys, err := chi.NewSystem(cfg.Chi, policy)
+	if err != nil {
+		return nil, err
+	}
+	model := cfg.Energy
+	if model == (energy.Model{}) {
+		model = energy.DefaultModel()
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Cfg: cfg, Sys: sys, Policy: policy, model: model}, nil
+}
+
+// agingPeriod is how often (in cycles) aging-capable predictors halve
+// their counters, per Section V-B's phase-adaptivity argument.
+const agingPeriod = 50_000
+
+// ager is implemented by predictors with periodic counter decay.
+type ager interface{ Age() }
+
+// Run executes one program per core (len(programs) <= cores) until all
+// finish, and returns the collected result. A Machine is single-use: build
+// a fresh one per run.
+func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
+	if len(programs) == 0 || len(programs) > m.Cfg.Chi.Cores {
+		return nil, fmt.Errorf("machine: %d programs for %d cores", len(programs), m.Cfg.Chi.Cores)
+	}
+	stopAging := false
+	if a, ok := m.Policy.(ager); ok {
+		var tick func()
+		tick = func() {
+			if stopAging {
+				return // let the queue drain after the run completes
+			}
+			a.Age()
+			m.Sys.Engine.Schedule(agingPeriod, tick)
+		}
+		m.Sys.Engine.Schedule(agingPeriod, tick)
+	}
+	finished := 0
+	cores := make([]*cpu.Core, len(programs))
+	for i, p := range programs {
+		c, err := cpu.New(m.Cfg.CPU, m.Sys.Engine, m.Sys.RNs[i], p, func() { finished++ })
+		if err != nil {
+			for _, c := range cores {
+				if c != nil {
+					c.Abort()
+				}
+			}
+			return nil, err
+		}
+		cores[i] = c
+		c.Start(0)
+	}
+	budget := m.Cfg.MaxEvents
+	if budget == 0 {
+		budget = defaultMaxEvents
+	}
+	ok := m.Sys.Engine.RunUntil(func() bool { return finished == len(programs) }, budget)
+	stopAging = true
+	if !ok {
+		for _, c := range cores {
+			c.Abort()
+		}
+		if finished < len(programs) && m.Sys.Engine.Pending() == 0 {
+			return nil, fmt.Errorf("machine: deadlock — %d/%d programs finished and no events pending",
+				finished, len(programs))
+		}
+		return nil, ErrTimeout
+	}
+	m.Sys.Engine.Run(0) // drain writebacks and in-flight background work
+	return m.collect(cores), nil
+}
+
+// collect aggregates statistics into a Result.
+func (m *Machine) collect(cores []*cpu.Core) *Result {
+	r := &Result{Policy: m.Cfg.Policy, Detail: stats.NewGroup()}
+	var amoLatencySum, latencySamples uint64
+	for _, c := range cores {
+		r.Instructions += c.Instructions
+		if c.FinishedAt > r.Cycles {
+			r.Cycles = c.FinishedAt
+		}
+	}
+	var ev energy.Events
+	for _, rn := range m.Sys.RNs {
+		s := rn.Stats
+		r.AMOs += s.AMOs
+		r.AMOLoads += s.AMOLoadOps
+		r.AMOStores += s.AMOStoreOps
+		r.NearLocal += s.AMONearLocal
+		r.NearTxn += s.AMONearTxn
+		r.Far += s.AMOFar
+		amoLatencySum += s.AMOLatencySum
+		latencySamples += s.AMOs
+		ev.L1Accesses += s.L1Hits + s.L1Misses + s.SnoopsReceived
+		ev.L2Accesses += s.L2Hits + s.L2Misses
+		r.Detail.Add("rn.loads", s.Loads)
+		r.Detail.Add("rn.stores", s.Stores)
+		r.Detail.Add("rn.amos", s.AMOs)
+		r.Detail.Add("rn.l1.hits", s.L1Hits)
+		r.Detail.Add("rn.l1.misses", s.L1Misses)
+		r.Detail.Add("rn.l2.hits", s.L2Hits)
+		r.Detail.Add("rn.l2.misses", s.L2Misses)
+		r.Detail.Add("rn.snoops", s.SnoopsReceived)
+		r.Detail.Add("rn.invalidations", s.Invalidations)
+		r.Detail.Add("rn.writebacks", s.WriteBacks)
+	}
+	for _, hn := range m.Sys.HNs {
+		s := hn.Stats
+		ev.LLCAccesses += s.LLCHits + s.LLCMisses
+		ev.DirLookups += s.ReadShared + s.ReadUnique + s.WriteBacks + s.Atomics
+		ev.AMOBufAccesses += s.AMOBufHits + s.AMOBufMisses
+		ev.ALUOps += s.Atomics
+		r.Detail.Add("hn.readshared", s.ReadShared)
+		r.Detail.Add("hn.readunique", s.ReadUnique)
+		r.Detail.Add("hn.writebacks", s.WriteBacks)
+		r.Detail.Add("hn.atomics", s.Atomics)
+		r.Detail.Add("hn.llc.hits", s.LLCHits)
+		r.Detail.Add("hn.llc.misses", s.LLCMisses)
+		r.Detail.Add("hn.amobuf.hits", s.AMOBufHits)
+		r.Detail.Add("hn.snoops.sent", s.SnoopsSent)
+	}
+	r.NoC = m.Sys.Mesh.Stats()
+	r.Mem = m.Sys.Mem.Stats()
+	ev.FlitHops = r.NoC.FlitHops
+	ev.MemAccesses = r.Mem.Reads + r.Mem.Writes
+	r.Events = ev
+	r.Energy = m.model.Compute(ev)
+	if r.Instructions > 0 {
+		r.APKI = float64(r.AMOs) / float64(r.Instructions) * 1000
+	}
+	if latencySamples > 0 {
+		r.AvgAMOLatency = float64(amoLatencySum) / float64(latencySamples)
+	}
+	r.Detail.Add("noc.messages", r.NoC.Messages)
+	r.Detail.Add("noc.flits", r.NoC.Flits)
+	r.Detail.Add("noc.flithops", r.NoC.FlitHops)
+	r.Detail.Add("mem.reads", r.Mem.Reads)
+	r.Detail.Add("mem.writes", r.Mem.Writes)
+	return r
+}

@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"dynamo/internal/cpu"
+	"dynamo/internal/memory"
+)
+
+// smallConfig shrinks the default system so unit tests stay fast.
+func smallConfig(policy string) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = policy
+	cfg.Chi.Cores = 4
+	cfg.Chi.HNSlices = 4
+	cfg.Chi.Mesh.Width = 4
+	cfg.Chi.Mesh.Height = 4
+	cfg.Chi.L1Sets = 16
+	cfg.Chi.L2Sets = 64
+	cfg.Chi.LLCSets = 256
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Policy = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Chi.Cores != 32 {
+		t.Errorf("cores = %d, want 32", cfg.Chi.Cores)
+	}
+	if got := cfg.Chi.L1Sets * cfg.Chi.L1Ways * memory.LineSize; got != 64<<10 {
+		t.Errorf("L1D size = %d, want 64 KiB", got)
+	}
+	if got := cfg.Chi.L2Sets * cfg.Chi.L2Ways * memory.LineSize; got != 512<<10 {
+		t.Errorf("L2 size = %d, want 512 KiB", got)
+	}
+	if got := cfg.Chi.LLCSets * cfg.Chi.LLCWays * memory.LineSize; got != 1<<20 {
+		t.Errorf("LLC slice size = %d, want 1 MiB", got)
+	}
+	if cfg.Chi.Mesh.Width != 8 || cfg.Chi.Mesh.Height != 8 {
+		t.Errorf("mesh = %dx%d, want 8x8", cfg.Chi.Mesh.Width, cfg.Chi.Mesh.Height)
+	}
+	if cfg.Chi.Mem.Channels != 8 {
+		t.Errorf("memory channels = %d, want 8", cfg.Chi.Mem.Channels)
+	}
+	if cfg.AMT.Entries != 128 || cfg.AMT.Ways != 4 || cfg.AMT.CounterMax != 32 {
+		t.Errorf("AMT = %+v, want 128/4/32", cfg.AMT)
+	}
+}
+
+func TestRunSimpleProgram(t *testing.T) {
+	m, err := New(smallConfig("all-near"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := []cpu.Program{
+		func(th *cpu.Thread) {
+			for i := 0; i < 10; i++ {
+				th.AMOStore(memory.AMOAdd, 0x1000, 1)
+			}
+			th.Fence()
+		},
+		func(th *cpu.Thread) {
+			for i := 0; i < 10; i++ {
+				th.AMOStore(memory.AMOAdd, 0x1000, 1)
+			}
+			th.Fence()
+		},
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sys.Data.Load(0x1000); got != 20 {
+		t.Fatalf("counter = %d, want 20", got)
+	}
+	if res.AMOs != 20 || res.AMOStores != 20 || res.AMOLoads != 0 {
+		t.Fatalf("AMO counts: %+v", res)
+	}
+	if res.Cycles == 0 || res.Instructions == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if res.APKI <= 0 {
+		t.Fatalf("APKI = %g", res.APKI)
+	}
+	if res.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if res.NearLocal+res.NearTxn+res.Far != 20 {
+		t.Fatalf("placement split %d+%d+%d != 20", res.NearLocal, res.NearTxn, res.Far)
+	}
+}
+
+func TestRunRejectsBadProgramCounts(t *testing.T) {
+	m, err := New(smallConfig("all-near"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil); err == nil {
+		t.Error("empty program list accepted")
+	}
+	progs := make([]cpu.Program, 5) // cores=4
+	for i := range progs {
+		progs[i] = func(th *cpu.Thread) {}
+	}
+	if _, err := m.Run(progs); err == nil {
+		t.Error("too many programs accepted")
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	cfg := smallConfig("all-near")
+	cfg.MaxEvents = 1000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for { // never terminates
+			th.Load(0x1)
+			th.Compute(1)
+		}
+	}})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestFarPolicyRunsFar(t *testing.T) {
+	m, err := New(smallConfig("unique-near"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for i := 0; i < 16; i++ {
+			// Distinct cold lines: state I, unique-near sends them far.
+			th.AMOStore(memory.AMOAdd, memory.Addr(0x4000+i*64), 1)
+		}
+		th.Fence()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Far != 16 {
+		t.Fatalf("Far = %d, want 16", res.Far)
+	}
+	if res.NearLocal+res.NearTxn != 0 {
+		t.Fatalf("near AMOs under unique-near on cold lines: %+v", res)
+	}
+}
+
+func TestDynamoPolicyRuns(t *testing.T) {
+	for _, p := range []string{"dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn"} {
+		m, err := New(smallConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run([]cpu.Program{func(th *cpu.Thread) {
+			for i := 0; i < 50; i++ {
+				th.AMOStore(memory.AMOAdd, memory.Addr(0x8000+(i%4)*64), 1)
+			}
+			th.Fence()
+		}})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.AMOs != 50 {
+			t.Fatalf("%s: AMOs = %d", p, res.AMOs)
+		}
+		if got := m.Sys.Data.Load(0x8000); got == 0 {
+			t.Fatalf("%s: no updates landed", p)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	runOnce := func() uint64 {
+		m, err := New(smallConfig("dynamo-reuse-pn"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := make([]cpu.Program, 4)
+		for i := range progs {
+			progs[i] = func(th *cpu.Thread) {
+				for j := 0; j < 40; j++ {
+					th.AMOStore(memory.AMOAdd, memory.Addr(0x9000+(j%3)*64), 1)
+					th.Compute(3)
+				}
+				th.Fence()
+			}
+		}
+		res, err := m.Run(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uint64(res.Cycles)*1_000_003 + res.NoC.Flits
+	}
+	if a, b := runOnce(), runOnce(); a != b {
+		t.Fatalf("non-deterministic runs: %d vs %d", a, b)
+	}
+}
+
+func TestMetricAgingRuns(t *testing.T) {
+	// A long-running program under dynamo-metric must trigger periodic
+	// aging without wedging the run or leaving the engine spinning.
+	m, err := New(smallConfig("dynamo-metric"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for i := 0; i < 200; i++ {
+			th.AMOStore(memory.AMOAdd, memory.Addr(0x5000+(i%2)*64), 1)
+			th.Compute(600) // cross several aging periods
+		}
+		th.Fence()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < agingPeriod {
+		t.Fatalf("run too short (%d cycles) to exercise aging", res.Cycles)
+	}
+	// The engine must be fully drained (no immortal aging tick).
+	if m.Sys.Engine.Pending() != 0 {
+		t.Fatalf("%d events still pending after run", m.Sys.Engine.Pending())
+	}
+}

@@ -1,0 +1,113 @@
+package memory
+
+import "fmt"
+
+// AMOOp is the arithmetic performed by an atomic memory operation. The set
+// matches the AMBA 5 CHI atomic transaction opcodes (which themselves cover
+// the Armv8.1 LSE / RISC-V A-extension operations).
+type AMOOp uint8
+
+const (
+	AMOAdd AMOOp = iota
+	AMOSwap
+	AMOCAS
+	AMOAnd // atomic AND (CHI: CLR with inverted mask; modeled directly)
+	AMOOr
+	AMOXor
+	AMOMin // signed min
+	AMOMax // signed max
+	AMOUMin
+	AMOUMax
+)
+
+// String returns the mnemonic of the operation.
+func (op AMOOp) String() string {
+	switch op {
+	case AMOAdd:
+		return "add"
+	case AMOSwap:
+		return "swap"
+	case AMOCAS:
+		return "cas"
+	case AMOAnd:
+		return "and"
+	case AMOOr:
+		return "or"
+	case AMOXor:
+		return "xor"
+	case AMOMin:
+		return "min"
+	case AMOMax:
+		return "max"
+	case AMOUMin:
+		return "umin"
+	case AMOUMax:
+		return "umax"
+	}
+	return fmt.Sprintf("AMOOp(%d)", uint8(op))
+}
+
+// AMOOps lists every opcode, for exhaustive tests.
+var AMOOps = []AMOOp{AMOAdd, AMOSwap, AMOCAS, AMOAnd, AMOOr, AMOXor, AMOMin, AMOMax, AMOUMin, AMOUMax}
+
+// ApplyAMO computes an atomic read-modify-write over an old 64-bit value.
+// For AMOCAS, operand is the value to store and compare the expected value;
+// the store happens only when old == compare. For every other op compare is
+// ignored. It returns the new stored value and the value the operation
+// returns to the requestor (always the old value, per CHI AtomicLoad/CAS
+// semantics).
+func ApplyAMO(op AMOOp, old, operand, compare uint64) (stored, returned uint64) {
+	returned = old
+	switch op {
+	case AMOAdd:
+		stored = old + operand
+	case AMOSwap:
+		stored = operand
+	case AMOCAS:
+		if old == compare {
+			stored = operand
+		} else {
+			stored = old
+		}
+	case AMOAnd:
+		stored = old & operand
+	case AMOOr:
+		stored = old | operand
+	case AMOXor:
+		stored = old ^ operand
+	case AMOMin:
+		if int64(operand) < int64(old) {
+			stored = operand
+		} else {
+			stored = old
+		}
+	case AMOMax:
+		if int64(operand) > int64(old) {
+			stored = operand
+		} else {
+			stored = old
+		}
+	case AMOUMin:
+		if operand < old {
+			stored = operand
+		} else {
+			stored = old
+		}
+	case AMOUMax:
+		if operand > old {
+			stored = operand
+		} else {
+			stored = old
+		}
+	default:
+		panic(fmt.Sprintf("memory: unknown AMO op %d", op))
+	}
+	return stored, returned
+}
+
+// Mutates reports whether applying op with the given values would change the
+// stored value. Used by tests and by the HN to skip redundant writebacks.
+func Mutates(op AMOOp, old, operand, compare uint64) bool {
+	stored, _ := ApplyAMO(op, old, operand, compare)
+	return stored != old
+}

@@ -1,0 +1,82 @@
+// Package memory defines the address arithmetic, cache-line states, atomic
+// opcodes and functional backing store shared by the whole simulator.
+//
+// Cache-line coherence states follow the AMBA 5 CHI naming for the MOESI
+// protocol: Invalid (I), SharedClean (SC, ~S), SharedDirty (SD, ~O),
+// UniqueClean (UC, ~E) and UniqueDirty (UD, ~M).
+package memory
+
+import "fmt"
+
+// LineSize is the cache-line size in bytes. The whole system uses 64-byte
+// lines, matching Table II of the paper.
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Line identifies a cache line: the address with the offset bits removed.
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// Base returns the first byte address of the line.
+func (l Line) Base() Addr { return Addr(l) << LineShift }
+
+// Offset returns the byte offset of a within its cache line.
+func Offset(a Addr) uint { return uint(a) & (LineSize - 1) }
+
+// State is a CHI cache-line coherence state.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// SharedClean: present read-only, memory/LLC may be stale elsewhere but
+	// this copy is clean.
+	SharedClean
+	// SharedDirty: present shared, this cache owns the dirty data (CHI SD,
+	// classic Owned).
+	SharedDirty
+	// UniqueClean: exclusive, clean (classic Exclusive).
+	UniqueClean
+	// UniqueDirty: exclusive, modified (classic Modified).
+	UniqueDirty
+)
+
+// String returns the CHI short name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case SharedClean:
+		return "SC"
+	case SharedDirty:
+		return "SD"
+	case UniqueClean:
+		return "UC"
+	case UniqueDirty:
+		return "UD"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Unique reports whether the state grants exclusive write permission.
+func (s State) Unique() bool { return s == UniqueClean || s == UniqueDirty }
+
+// Shared reports whether the state is one of the shared states.
+func (s State) Shared() bool { return s == SharedClean || s == SharedDirty }
+
+// Present reports whether the line is cached at all.
+func (s State) Present() bool { return s != Invalid }
+
+// Dirty reports whether this copy holds modified data that must be written
+// back on eviction.
+func (s State) Dirty() bool { return s == UniqueDirty || s == SharedDirty }
+
+// States lists all five coherence states in Table I column order.
+var States = [5]State{UniqueClean, UniqueDirty, SharedClean, SharedDirty, Invalid}

@@ -1,0 +1,49 @@
+package memory
+
+// Store is the functional backing store for simulated memory. The simulator
+// is execution-driven: workloads compute real results (histograms, sorted
+// arrays, BFS distances) in this store, which lets integration tests verify
+// that no update is ever lost regardless of AMO placement.
+//
+// Values are 64-bit words at 8-byte-aligned addresses; unaligned accesses
+// are rounded down to their containing word. All timing-model serialization
+// happens in the protocol layer, so Store itself is a plain map owned by the
+// single-threaded simulation engine.
+type Store struct {
+	words map[Addr]uint64
+}
+
+// NewStore returns an empty store; unwritten memory reads as zero.
+func NewStore() *Store {
+	return &Store{words: make(map[Addr]uint64)}
+}
+
+func align(a Addr) Addr { return a &^ 7 }
+
+// Load returns the 64-bit word at a.
+func (s *Store) Load(a Addr) uint64 { return s.words[align(a)] }
+
+// StoreWord writes the 64-bit word at a.
+func (s *Store) StoreWord(a Addr, v uint64) {
+	a = align(a)
+	if v == 0 {
+		delete(s.words, a) // keep the map sparse for zero-dominated data
+		return
+	}
+	s.words[a] = v
+}
+
+// AMO applies an atomic read-modify-write at a and returns the prior value.
+func (s *Store) AMO(op AMOOp, a Addr, operand, compare uint64) (old uint64) {
+	a = align(a)
+	old = s.words[a]
+	stored, _ := ApplyAMO(op, old, operand, compare)
+	if stored != old {
+		s.StoreWord(a, stored)
+	}
+	return old
+}
+
+// Footprint returns the number of distinct non-zero words stored, an
+// approximation of the touched memory footprint used by Table III reporting.
+func (s *Store) Footprint() int { return len(s.words) }

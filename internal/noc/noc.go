@@ -1,0 +1,189 @@
+// Package noc models the on-chip interconnect: a 2D mesh with dimension-order
+// (XY) routing, per-hop router and link latencies, and per-link serialization
+// so that bursts of messages over the same links queue up (first-order
+// contention, the effect that makes far-AMO centralization pay off under
+// contention and hurts when it generates extra traffic).
+package noc
+
+import (
+	"fmt"
+
+	"dynamo/internal/sim"
+)
+
+// Flit sizes per message class, assuming 16-byte links: a control message is
+// a single flit; a data message carries a 64-byte line plus header.
+const (
+	ControlFlits = 1
+	DataFlits    = 5
+)
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width, Height int
+	// RouteLatency is the per-hop router traversal cost in cycles.
+	RouteLatency sim.Tick
+	// LinkLatency is the per-hop link traversal cost in cycles.
+	LinkLatency sim.Tick
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.RouteLatency == 0 && c.LinkLatency == 0 {
+		return fmt.Errorf("noc: zero hop latency")
+	}
+	return nil
+}
+
+// Stats aggregates traffic counters for the energy model and reports.
+type Stats struct {
+	Messages  uint64
+	Flits     uint64
+	FlitHops  uint64 // flits x hops traversed; the NoC dynamic-energy proxy
+	Hops      uint64
+	QueueWait uint64 // cycles spent waiting for busy links
+}
+
+// Mesh is the interconnect. Node IDs are y*Width+x. The mesh keeps one
+// outgoing-link reservation table per node per direction to model
+// serialization: a link accepts one flit per cycle.
+type Mesh struct {
+	cfg   Config
+	stats Stats
+	// nextFree[node][dir] is the first cycle the link is idle.
+	nextFree [][4]sim.Tick
+}
+
+// Directions for outgoing links.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds a mesh from cfg.
+func New(cfg Config) (*Mesh, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mesh{
+		cfg:      cfg,
+		nextFree: make([][4]sim.Tick, cfg.Width*cfg.Height),
+	}, nil
+}
+
+// Nodes returns the number of mesh nodes.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// XY returns the coordinates of node id.
+func (m *Mesh) XY(id int) (x, y int) { return id % m.cfg.Width, id / m.cfg.Width }
+
+// NodeAt returns the node id at (x, y).
+func (m *Mesh) NodeAt(x, y int) int { return y*m.cfg.Width + x }
+
+// Hops returns the minimal (Manhattan) hop count between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// LinkHop is one link traversal on a route: the node whose outgoing link in
+// direction Dir is crossed.
+type LinkHop struct {
+	Node, Dir int
+}
+
+// Route returns the XY route from src to dst as a sequence of link
+// traversals.
+func (m *Mesh) Route(src, dst int) []LinkHop {
+	var route []LinkHop
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	for x != dx {
+		if x < dx {
+			route = append(route, LinkHop{m.NodeAt(x, y), dirEast})
+			x++
+		} else {
+			route = append(route, LinkHop{m.NodeAt(x, y), dirWest})
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			route = append(route, LinkHop{m.NodeAt(x, y), dirSouth})
+			y++
+		} else {
+			route = append(route, LinkHop{m.NodeAt(x, y), dirNorth})
+			y--
+		}
+	}
+	return route
+}
+
+// Send models injecting a message of the given flit count at src at time now
+// and returns the delivery time at dst. Each traversed link is reserved for
+// flits cycles, so concurrent messages sharing links serialize. Send is
+// called from simulation events, so it executes in deterministic order.
+func (m *Mesh) Send(src, dst int, flits int, now sim.Tick) sim.Tick {
+	if flits <= 0 {
+		panic(fmt.Sprintf("noc: message with %d flits", flits))
+	}
+	m.stats.Messages++
+	m.stats.Flits += uint64(flits)
+	if src == dst {
+		// Local delivery still pays one router traversal.
+		return now + m.cfg.RouteLatency
+	}
+	t := now
+	hops := 0
+	x, y := m.XY(src)
+	dx, dy := m.XY(dst)
+	step := func(dir int) {
+		node := m.NodeAt(x, y)
+		free := m.nextFree[node][dir]
+		depart := t
+		if free > depart {
+			m.stats.QueueWait += uint64(free - depart)
+			depart = free
+		}
+		m.nextFree[node][dir] = depart + sim.Tick(flits)
+		t = depart + m.cfg.RouteLatency + m.cfg.LinkLatency
+		hops++
+	}
+	for x != dx {
+		if x < dx {
+			step(dirEast)
+			x++
+		} else {
+			step(dirWest)
+			x--
+		}
+	}
+	for y != dy {
+		if y < dy {
+			step(dirSouth)
+			y++
+		} else {
+			step(dirNorth)
+			y--
+		}
+	}
+	m.stats.Hops += uint64(hops)
+	m.stats.FlitHops += uint64(hops) * uint64(flits)
+	return t
+}
+
+// Stats returns a copy of the accumulated traffic counters.
+func (m *Mesh) Stats() Stats { return m.stats }

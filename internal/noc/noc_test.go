@@ -1,0 +1,199 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynamo/internal/sim"
+)
+
+func mesh8(t testing.TB) *Mesh {
+	t.Helper()
+	m, err := New(Config{Width: 8, Height: 8, RouteLatency: 1, LinkLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 8, RouteLatency: 1},
+		{Width: 8, Height: -1, RouteLatency: 1},
+		{Width: 8, Height: 8},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestCoordinates(t *testing.T) {
+	m := mesh8(t)
+	for id := 0; id < m.Nodes(); id++ {
+		x, y := m.XY(id)
+		if m.NodeAt(x, y) != id {
+			t.Fatalf("NodeAt(XY(%d)) = %d", id, m.NodeAt(x, y))
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	m := mesh8(t)
+	if h := m.Hops(m.NodeAt(0, 0), m.NodeAt(7, 7)); h != 14 {
+		t.Fatalf("corner-to-corner hops = %d, want 14", h)
+	}
+	if h := m.Hops(3, 3); h != 0 {
+		t.Fatalf("self hops = %d, want 0", h)
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	m := mesh8(t)
+	src, dst := m.NodeAt(0, 0), m.NodeAt(3, 2)
+	arrival := m.Send(src, dst, ControlFlits, 100)
+	// 5 hops x (1 route + 1 link) = 10 cycles.
+	if arrival != 110 {
+		t.Fatalf("arrival = %d, want 110", arrival)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m := mesh8(t)
+	if got := m.Send(5, 5, DataFlits, 50); got != 51 {
+		t.Fatalf("local delivery at %d, want 51", got)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	m := mesh8(t)
+	src, dst := m.NodeAt(0, 0), m.NodeAt(1, 0)
+	a := m.Send(src, dst, DataFlits, 0)
+	b := m.Send(src, dst, DataFlits, 0)
+	if b <= a {
+		t.Fatalf("second message arrived at %d, first at %d; expected serialization", b, a)
+	}
+	if b-a != DataFlits {
+		t.Fatalf("serialization gap = %d, want %d", b-a, DataFlits)
+	}
+	if m.Stats().QueueWait == 0 {
+		t.Fatal("no queue wait recorded under contention")
+	}
+}
+
+func TestDisjointPathsNoContention(t *testing.T) {
+	m := mesh8(t)
+	a := m.Send(m.NodeAt(0, 0), m.NodeAt(1, 0), DataFlits, 0)
+	b := m.Send(m.NodeAt(0, 1), m.NodeAt(1, 1), DataFlits, 0)
+	if a != b {
+		t.Fatalf("disjoint paths interfered: %d vs %d", a, b)
+	}
+	if m.Stats().QueueWait != 0 {
+		t.Fatal("queue wait on disjoint paths")
+	}
+}
+
+func TestRouteIsXY(t *testing.T) {
+	m := mesh8(t)
+	route := m.Route(m.NodeAt(1, 1), m.NodeAt(4, 6))
+	if len(route) != 8 {
+		t.Fatalf("route length = %d, want 8", len(route))
+	}
+	// X first: the first 3 hops go east.
+	for i := 0; i < 3; i++ {
+		if route[i].Dir != dirEast {
+			t.Fatalf("hop %d dir = %d, want east", i, route[i].Dir)
+		}
+	}
+	for i := 3; i < 8; i++ {
+		if route[i].Dir != dirSouth {
+			t.Fatalf("hop %d dir = %d, want south", i, route[i].Dir)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mesh8(t)
+	m.Send(0, 1, ControlFlits, 0)
+	m.Send(0, 2, DataFlits, 0)
+	s := m.Stats()
+	if s.Messages != 2 {
+		t.Fatalf("Messages = %d", s.Messages)
+	}
+	if s.Flits != ControlFlits+DataFlits {
+		t.Fatalf("Flits = %d", s.Flits)
+	}
+	if s.Hops != 3 {
+		t.Fatalf("Hops = %d, want 3", s.Hops)
+	}
+	if s.FlitHops != 1*ControlFlits+2*DataFlits {
+		t.Fatalf("FlitHops = %d", s.FlitHops)
+	}
+}
+
+func TestZeroFlitsPanics(t *testing.T) {
+	m := mesh8(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Send with 0 flits did not panic")
+		}
+	}()
+	m.Send(0, 1, 0, 0)
+}
+
+// Property: route length equals Manhattan distance (minimal routing) and the
+// uncontended delivery latency is hops*(route+link).
+func TestMinimalRoutingProperty(t *testing.T) {
+	f := func(srcRaw, dstRaw uint8) bool {
+		m := mesh8(t)
+		src := int(srcRaw) % m.Nodes()
+		dst := int(dstRaw) % m.Nodes()
+		hops := m.Hops(src, dst)
+		if len(m.Route(src, dst)) != hops {
+			return false
+		}
+		if src == dst {
+			return true
+		}
+		arrival := m.Send(src, dst, ControlFlits, 1000)
+		return arrival == sim.Tick(1000+2*hops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arrival times never precede injection plus minimal latency, even
+// under heavy random contention.
+func TestContentionNeverBeatsMinLatencyProperty(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		m := mesh8(t)
+		now := sim.Tick(0)
+		for _, s := range seeds {
+			src := int(s) % m.Nodes()
+			dst := int(s>>8) % m.Nodes()
+			if src == dst {
+				continue
+			}
+			arrival := m.Send(src, dst, DataFlits, now)
+			minArrival := now + sim.Tick(2*m.Hops(src, dst))
+			if arrival < minArrival {
+				return false
+			}
+			now += sim.Tick(s % 3)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	m := mesh8(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Send(i%64, (i*7)%64, DataFlits, sim.Tick(i))
+	}
+}

@@ -1,0 +1,144 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All timing in the simulator is expressed in core clock cycles. Components
+// schedule closures to run at future cycles on a single Engine; the engine
+// executes them in (time, insertion-order) order, which makes every
+// simulation run fully deterministic for a given seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in simulated time, measured in clock cycles.
+type Tick uint64
+
+// Event is a closure scheduled to run at a fixed simulated time.
+type event struct {
+	when Tick
+	seq  uint64 // insertion order; breaks ties deterministically
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Tick
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// executed counts events run so far; used by watchdogs and stats.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Tick { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn later in the
+// current cycle, after all previously scheduled work for this cycle.
+func (e *Engine) Schedule(delay Tick, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule called with nil fn")
+	}
+	ev := &event{when: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Tick, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
+	}
+	e.Schedule(t-e.now, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single next event, advancing time to it. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.when
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or limit
+// cycles of simulated time elapse (limit==0 means no time limit). It returns
+// the number of events executed by this call.
+func (e *Engine) Run(limit Tick) uint64 {
+	e.stopped = false
+	start := e.executed
+	var deadline Tick
+	if limit > 0 {
+		deadline = e.now + limit
+	}
+	for !e.stopped && e.queue.Len() > 0 {
+		if limit > 0 && e.queue[0].when > deadline {
+			break
+		}
+		e.Step()
+	}
+	return e.executed - start
+}
+
+// RunUntil executes events while cond returns false, the queue is non-empty
+// and the event budget (0 = unlimited) is not exhausted. It reports whether
+// cond became true.
+func (e *Engine) RunUntil(cond func() bool, maxEvents uint64) bool {
+	var n uint64
+	for !cond() {
+		if maxEvents > 0 && n >= maxEvents {
+			return false
+		}
+		if !e.Step() {
+			return false
+		}
+		n++
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+// Package stats provides the counters and aggregation helpers used by the
+// experiment harness: run summaries, speedups, geometric means and simple
+// fixed-width table formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs. It returns 0 for an empty slice
+// and panics on non-positive values, which always indicate a bad experiment.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup returns base/measured: >1 means measured is faster than base when
+// the inputs are execution times.
+func Speedup(baseCycles, cycles uint64) float64 {
+	if cycles == 0 {
+		panic("stats: zero cycle count")
+	}
+	return float64(baseCycles) / float64(cycles)
+}
+
+// Counter is a named monotonically increasing counter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Group is an ordered collection of named counters, used for run reports.
+type Group struct {
+	counters []Counter
+	index    map[string]int
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{index: make(map[string]int)}
+}
+
+// Add increments the named counter by n, creating it if needed.
+func (g *Group) Add(name string, n uint64) {
+	if i, ok := g.index[name]; ok {
+		g.counters[i].Value += n
+		return
+	}
+	g.index[name] = len(g.counters)
+	g.counters = append(g.counters, Counter{Name: name, Value: n})
+}
+
+// Get returns the value of the named counter (zero if absent).
+func (g *Group) Get(name string) uint64 {
+	if i, ok := g.index[name]; ok {
+		return g.counters[i].Value
+	}
+	return 0
+}
+
+// Names returns the counter names in insertion order.
+func (g *Group) Names() []string {
+	names := make([]string, len(g.counters))
+	for i, c := range g.counters {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// String renders the group sorted by name, one counter per line.
+func (g *Group) String() string {
+	cs := make([]Counter, len(g.counters))
+	copy(cs, g.counters)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	var b strings.Builder
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-32s %12d\n", c.Name, c.Value)
+	}
+	return b.String()
+}
+
+// Table formats rows of cells with left-aligned, width-padded columns; the
+// experiment runners use it to print figure data as aligned text.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells are simple
+// identifiers and numbers, so no quoting is needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// F formats a float with 3 decimal places, the standard cell format for
+// speedup tables.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }

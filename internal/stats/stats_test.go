@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2}, 2},
+		{[]float64{1, 4}, 2},
+		{[]float64{2, 2, 2}, 2},
+		{[]float64{1, 1, 8}, 2},
+	}
+	for _, c := range cases {
+		got := Geomean(c.in)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Geomean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive input")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean is scale-equivariant and bounded by min/max.
+func TestGeomeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 3
+		}
+		return math.Abs(Geomean(scaled)-3*g) < 1e-6*g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 2 {
+		t.Fatalf("Speedup = %g, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero cycles")
+		}
+	}()
+	Speedup(100, 0)
+}
+
+func TestGroup(t *testing.T) {
+	g := NewGroup()
+	g.Add("l1.hits", 10)
+	g.Add("l1.hits", 5)
+	g.Add("l1.misses", 1)
+	if g.Get("l1.hits") != 15 {
+		t.Fatalf("l1.hits = %d", g.Get("l1.hits"))
+	}
+	if g.Get("absent") != 0 {
+		t.Fatal("absent counter non-zero")
+	}
+	names := g.Names()
+	if len(names) != 2 || names[0] != "l1.hits" || names[1] != "l1.misses" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !strings.Contains(g.String(), "l1.hits") {
+		t.Fatal("String missing counter")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Columns align: every "value" cell starts at the same offset.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "22") {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("y", "2")
+	want := "a,b\nx,1\ny,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

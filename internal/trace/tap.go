@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"dynamo/internal/cpu"
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+// Recorder returns a cpu.Config observer that writes every executed
+// operation to w. Install it via cpu.Config.Observe; write errors are
+// reported through the returned error function after the run.
+func Recorder(w *Writer) (observe func(cpu.ObservedOp), flush func() error) {
+	var firstErr error
+	observe = func(o cpu.ObservedOp) {
+		r := Record{Thread: uint16(o.Core), Op: o.Op, Addr: o.Addr, Operand: o.Operand}
+		switch {
+		case o.Compute:
+			r.Kind = KindCompute
+			r.Cycles = o.Cycles
+		case o.Load:
+			r.Kind = KindLoad
+		case o.Store:
+			r.Kind = KindStore
+		case o.AMO && o.NoReturn:
+			r.Kind = KindAMOStore
+		case o.AMO:
+			r.Kind = KindAMO
+		}
+		if err := w.Write(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	flush = func() error {
+		if err := w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	return observe, flush
+}
+
+// Replay converts a trace into per-thread programs that re-issue the
+// recorded operations. The returned slice is indexed by thread id.
+func Replay(records []Record) ([]cpu.Program, error) {
+	byThread := map[uint16][]Record{}
+	for _, r := range records {
+		byThread[r.Thread] = append(byThread[r.Thread], r)
+	}
+	ids := make([]int, 0, len(byThread))
+	for id := range byThread {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	if ids[len(ids)-1] != len(ids)-1 {
+		return nil, fmt.Errorf("trace: thread ids not dense: %v", ids)
+	}
+	progs := make([]cpu.Program, len(ids))
+	for i := range progs {
+		recs := byThread[uint16(i)]
+		progs[i] = func(t *cpu.Thread) {
+			for _, r := range recs {
+				switch r.Kind {
+				case KindLoad:
+					t.Load(r.Addr)
+				case KindStore:
+					t.Store(r.Addr, r.Operand)
+				case KindAMO:
+					t.AMO(r.Op, r.Addr, r.Operand)
+				case KindAMOStore:
+					t.AMOStore(r.Op, r.Addr, r.Operand)
+				case KindCompute:
+					t.Compute(int(r.Cycles))
+				}
+			}
+			t.Fence()
+		}
+	}
+	return progs, nil
+}
+
+// Synthesize builds a simple synthetic trace: threads hammering a set of
+// shared counters with a mix of loads and atomic adds — useful for the
+// dynamo-trace tool's demo mode and for tests.
+func Synthesize(threads, opsPerThread, counters int, noReturn bool) []Record {
+	var recs []Record
+	for t := 0; t < threads; t++ {
+		for i := 0; i < opsPerThread; i++ {
+			addr := memory.Addr(0x10000 + (i%counters)*memory.LineSize)
+			kind := KindAMO
+			if noReturn {
+				kind = KindAMOStore
+			}
+			recs = append(recs, Record{
+				Thread: uint16(t), Kind: kind, Op: memory.AMOAdd,
+				Addr: addr, Operand: 1,
+			})
+			recs = append(recs, Record{Thread: uint16(t), Kind: KindCompute, Cycles: sim.Tick(5)})
+		}
+	}
+	return recs
+}

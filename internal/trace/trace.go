@@ -1,0 +1,185 @@
+// Package trace records and replays memory-operation traces in a compact
+// binary format. Traces let experiments be re-driven without re-executing
+// the workload logic, and give users a way to inspect exactly what a
+// workload did (the dynamo-trace tool).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+// Kind classifies trace records.
+type Kind uint8
+
+const (
+	// KindLoad is a 64-bit load.
+	KindLoad Kind = iota
+	// KindStore is a 64-bit store.
+	KindStore
+	// KindAMO is a value-returning atomic.
+	KindAMO
+	// KindAMOStore is a no-return atomic.
+	KindAMOStore
+	// KindCompute is local work (Cycles field holds the amount).
+	KindCompute
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindAMO:
+		return "amo"
+	case KindAMOStore:
+		return "amostore"
+	case KindCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one traced operation.
+type Record struct {
+	Thread  uint16
+	Kind    Kind
+	Op      memory.AMOOp
+	Addr    memory.Addr
+	Operand uint64
+	Cycles  sim.Tick // compute records only
+}
+
+// magic identifies the file format; version bumps on layout changes.
+const magic = "DAMO"
+const version = 1
+
+// Writer streams records to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	count   uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) header() error {
+	if tw.started {
+		return nil
+	}
+	tw.started = true
+	if _, err := tw.w.WriteString(magic); err != nil {
+		return err
+	}
+	return tw.w.WriteByte(version)
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	var buf [28]byte
+	binary.LittleEndian.PutUint16(buf[0:], r.Thread)
+	buf[2] = byte(r.Kind)
+	buf[3] = byte(r.Op)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(r.Addr))
+	binary.LittleEndian.PutUint64(buf[12:], r.Operand)
+	binary.LittleEndian.PutUint64(buf[20:], uint64(r.Cycles))
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush writes buffered data (also writes the header for empty traces).
+func (tw *Writer) Flush() error {
+	if err := tw.header(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (tr *Reader) checkHeader() error {
+	if tr.started {
+		return nil
+	}
+	tr.started = true
+	var hdr [5]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		return fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != version {
+		return fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	return nil
+}
+
+// Read returns the next record, or io.EOF at the end.
+func (tr *Reader) Read() (Record, error) {
+	if err := tr.checkHeader(); err != nil {
+		return Record{}, err
+	}
+	var buf [28]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	r := Record{
+		Thread:  binary.LittleEndian.Uint16(buf[0:]),
+		Kind:    Kind(buf[2]),
+		Op:      memory.AMOOp(buf[3]),
+		Addr:    memory.Addr(binary.LittleEndian.Uint64(buf[4:])),
+		Operand: binary.LittleEndian.Uint64(buf[12:]),
+		Cycles:  sim.Tick(binary.LittleEndian.Uint64(buf[20:])),
+	}
+	if r.Kind > KindCompute {
+		return Record{}, fmt.Errorf("trace: invalid kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+// ReadAll drains the reader.
+func (tr *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := tr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+}

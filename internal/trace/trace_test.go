@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Thread: 0, Kind: KindLoad, Addr: 0x1000},
+		{Thread: 1, Kind: KindStore, Addr: 0x2000, Operand: 42},
+		{Thread: 2, Kind: KindAMO, Op: memory.AMOAdd, Addr: 0x3000, Operand: 1},
+		{Thread: 3, Kind: KindAMOStore, Op: memory.AMOSwap, Addr: 0x4000, Operand: 7},
+		{Thread: 0, Kind: KindCompute, Cycles: 99},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace read = %v, %v", got, err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewBufferString("NOPE\x01"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	r := NewReader(bytes.NewBufferString(magic + "\x63"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{Kind: KindLoad, Addr: 1})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-4]
+	r := NewReader(bytes.NewReader(data))
+	_, err := r.Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated record read: err = %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{KindLoad, KindStore, KindAMO, KindAMOStore, KindCompute} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestSynthesize(t *testing.T) {
+	recs := Synthesize(4, 10, 2, true)
+	if len(recs) != 4*10*2 {
+		t.Fatalf("synthesized %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Kind == KindAMO {
+			t.Fatal("noReturn trace contains AtomicLoads")
+		}
+	}
+}
+
+func TestReplayBuildsPrograms(t *testing.T) {
+	recs := Synthesize(3, 5, 2, false)
+	progs, err := Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 3 {
+		t.Fatalf("%d programs, want 3", len(progs))
+	}
+	if _, err := Replay(nil); err == nil {
+		t.Fatal("empty trace replayed")
+	}
+	if _, err := Replay([]Record{{Thread: 5}}); err == nil {
+		t.Fatal("sparse thread ids accepted")
+	}
+}
+
+// Property: arbitrary records survive a round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(thread uint16, kindSel, opSel uint8, addr, operand uint64, cycles uint32) bool {
+		rec := Record{
+			Thread:  thread,
+			Kind:    Kind(kindSel % 5),
+			Op:      memory.AMOOp(opSel % 10),
+			Addr:    memory.Addr(addr),
+			Operand: operand,
+			Cycles:  sim.Tick(cycles),
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(rec) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadAll()
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

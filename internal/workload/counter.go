@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"fmt"
+
+	"dynamo/internal/cpu"
+	"dynamo/internal/memory"
+)
+
+// Counter builds the Fig. 1 microbenchmark: every thread performs ops
+// atomic increments of one shared counter. noReturn selects AtomicStore
+// semantics (stadd) instead of AtomicLoad (ldadd); gap is the local work
+// between updates in cycles.
+func Counter(threads, ops int, noReturn bool, gap int) (*Instance, error) {
+	if threads <= 0 || ops <= 0 {
+		return nil, fmt.Errorf("workload: counter with %d threads x %d ops", threads, ops)
+	}
+	alloc := NewAlloc()
+	counter := alloc.Lines(1)
+	inst := &Instance{AMOFootprintBytes: memory.LineSize}
+	for i := 0; i < threads; i++ {
+		inst.Programs = append(inst.Programs, func(t *cpu.Thread) {
+			for k := 0; k < ops; k++ {
+				if noReturn {
+					t.AMOStore(memory.AMOAdd, counter, 1)
+				} else {
+					t.AMO(memory.AMOAdd, counter, 1)
+				}
+				t.Compute(gap)
+			}
+			t.Fence()
+		})
+	}
+	want := uint64(threads * ops)
+	inst.Validate = func(data *memory.Store) error {
+		if got := data.Load(counter); got != want {
+			return fmt.Errorf("counter: %d updates arrived, want %d", got, want)
+		}
+		return nil
+	}
+	return inst, nil
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"testing"
+
+	"dynamo/internal/cpu"
+	"dynamo/internal/machine"
+	"dynamo/internal/sim"
+)
+
+// lockedCounterRun exercises a mutex implementation: every thread performs
+// non-atomic read-modify-writes on a shared cell under the lock. Mutual
+// exclusion failures lose increments and fail the run.
+func lockedCounterRun(t *testing.T, policy string, lockKind string, iters, gap int) sim.Tick {
+	t.Helper()
+	m := testMachine(t, policy)
+	alloc := NewAlloc()
+	var lock, unlock func(*cpu.Thread)
+	switch lockKind {
+	case "pthread":
+		mu := NewMutex(alloc)
+		lock, unlock = mu.Lock, mu.Unlock
+	case "far":
+		mu := NewFarMutex(alloc)
+		lock, unlock = mu.Lock, mu.Unlock
+	case "spin":
+		mu := NewSpinLock(alloc)
+		lock, unlock = mu.Lock, mu.Unlock
+	default:
+		t.Fatalf("unknown lock kind %q", lockKind)
+	}
+	cell := alloc.Lines(1)
+	progs := make([]cpu.Program, 4)
+	for i := range progs {
+		progs[i] = func(th *cpu.Thread) {
+			for k := 0; k < iters; k++ {
+				lock(th)
+				v := th.Load(cell)
+				th.Compute(8)
+				th.Store(cell, v+1)
+				unlock(th)
+				th.Compute(gap)
+			}
+			th.Fence()
+		}
+	}
+	res, err := m.Run(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sys.Data.Load(cell); got != uint64(4*iters) {
+		t.Fatalf("%s/%s: counter = %d, want %d (mutual exclusion broken)",
+			lockKind, policy, got, 4*iters)
+	}
+	return res.Cycles
+}
+
+func TestMutexKindsExcludeUnderAllPolicies(t *testing.T) {
+	for _, kind := range []string{"pthread", "far", "spin"} {
+		for _, policy := range []string{"all-near", "unique-near", "dynamo-reuse-pn"} {
+			kind, policy := kind, policy
+			t.Run(kind+"/"+policy, func(t *testing.T) {
+				t.Parallel()
+				lockedCounterRun(t, policy, kind, 40, 30)
+			})
+		}
+	}
+}
+
+// TestFarMutexHelpsFarPolicy reproduces the Section III-B3 prediction: the
+// standard Pthread layout penalizes far AMO execution because the lock
+// CAS/SWAP invalidate the metadata accesses on the same line; the split
+// layout removes that penalty.
+func TestFarMutexHelpsFarPolicy(t *testing.T) {
+	// Low contention (long gaps) isolates the per-acquire line traffic
+	// the split layout is designed to remove.
+	pthreadFar := lockedCounterRun(t, "unique-near", "pthread", 60, 800)
+	splitFar := lockedCounterRun(t, "unique-near", "far", 60, 800)
+	if splitFar >= pthreadFar {
+		t.Errorf("far-friendly layout (%d cycles) not faster than pthread layout (%d) under a far policy",
+			splitFar, pthreadFar)
+	}
+}
+
+func TestBarrierManyRounds(t *testing.T) {
+	m := testMachine(t, "all-near")
+	alloc := NewAlloc()
+	bar := NewBarrier(alloc, 4)
+	marks := alloc.Words(4)
+	progs := make([]cpu.Program, 4)
+	for i := range progs {
+		tid := i
+		progs[i] = func(th *cpu.Thread) {
+			sense := uint64(0)
+			for r := 0; r < 100; r++ {
+				// Unbalanced work so arrival order varies every round.
+				th.Compute((tid*13+r*7)%97 + 1)
+				th.Store(word(marks, tid), uint64(r))
+				th.Fence()
+				bar.Wait(th, &sense)
+				// After the barrier, every thread must observe every other
+				// thread's mark for this round.
+				for o := 0; o < 4; o++ {
+					if got := th.Load(word(marks, o)); got != uint64(r) {
+						panic("barrier did not synchronize")
+					}
+				}
+				bar.Wait(th, &sense)
+			}
+		}
+	}
+	if _, err := m.Run(progs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefetcherAcceleratesStreams checks the optional stride prefetcher:
+// a pure streaming read loop must get faster with prefetching enabled and
+// slower again when disabled.
+func TestPrefetcherAcceleratesStreams(t *testing.T) {
+	run := func(degree int) sim.Tick {
+		cfg := machine.DefaultConfig()
+		cfg.Policy = "all-near"
+		cfg.Chi.Cores = 4
+		cfg.Chi.HNSlices = 4
+		cfg.Chi.Mesh.Width = 4
+		cfg.Chi.Mesh.Height = 4
+		cfg.Chi.L1Sets = 32
+		cfg.Chi.L2Sets = 128
+		cfg.Chi.LLCSets = 512
+		cfg.Chi.PrefetchDegree = degree
+		m, err := machine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc := NewAlloc()
+		data := alloc.Words(4096)
+		res, err := m.Run([]cpu.Program{func(th *cpu.Thread) {
+			var sum uint64
+			for i := 0; i < 4096; i += 8 { // one load per line
+				sum += th.Load(word(data, i))
+			}
+			_ = sum
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	off := run(0)
+	on := run(8)
+	if on >= off {
+		t.Fatalf("prefetching did not help: %d cycles with vs %d without", on, off)
+	}
+	if float64(on) > 0.7*float64(off) {
+		t.Errorf("prefetching gain too small: %d vs %d", on, off)
+	}
+}
+
+// TestPrefetcherDoesNotBreakCorrectness runs a workload with prefetching
+// on and validates the functional result.
+func TestPrefetcherDoesNotBreakCorrectness(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Policy = "dynamo-reuse-pn"
+	cfg.Chi.Cores = 4
+	cfg.Chi.HNSlices = 4
+	cfg.Chi.Mesh.Width = 4
+	cfg.Chi.Mesh.Height = 4
+	cfg.Chi.L1Sets = 32
+	cfg.Chi.L2Sets = 128
+	cfg.Chi.LLCSets = 512
+	cfg.Chi.PrefetchDegree = 4
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := Get("radixsort")
+	inst, err := s.Build(Params{Threads: 4, Seed: 5, Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runInstance(t, m, inst)
+	for _, rn := range m.Sys.RNs {
+		if rn.Stats.Prefetches > 0 {
+			return
+		}
+	}
+	t.Fatal("no prefetches issued")
+}
