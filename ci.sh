@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 check: formatting, vet, build, full test suite.
+# Everything must pass clean before a change lands.
+set -eu
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+echo "ci: OK"

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	dynamosim -workload histogram -policy dynamo-reuse-pn [-threads 32]
+//	dynamosim -workload histogram -policy dynamo-reuse-pn -hist -timeline t.json
+//	dynamosim -workload histogram -json
 //	dynamosim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +28,9 @@ func main() {
 	input := flag.String("input", "", "workload input variant")
 	detail := flag.Bool("detail", false, "print every raw counter")
 	prefetch := flag.Int("prefetch", 0, "L1D stride prefetch degree (0 = off)")
+	hist := flag.Bool("hist", false, "print per-class latency histograms and counters")
+	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+	jsonOut := flag.Bool("json", false, "emit the full run result as JSON instead of text")
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
@@ -55,6 +61,10 @@ func main() {
 
 	cfg := dynamo.DefaultConfig()
 	cfg.Chi.PrefetchDegree = *prefetch
+	var bus *dynamo.ObsBus
+	if *hist || *timeline != "" || *jsonOut {
+		bus = dynamo.NewObs(*timeline != "")
+	}
 	res, err := dynamo.Run(dynamo.Options{
 		Workload: *wl,
 		Policy:   *policy,
@@ -63,10 +73,35 @@ func main() {
 		Scale:    *scale,
 		Input:    *input,
 		Config:   &cfg,
+		Obs:      bus,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bus.WriteTimeline(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload        %s\n", *wl)
@@ -86,6 +121,18 @@ func main() {
 		100*res.Energy.Caches/res.Energy.Total(),
 		100*res.Energy.NoC/res.Energy.Total(),
 		100*res.Energy.Memory/res.Energy.Total())
+	if *hist {
+		fmt.Println("\nlatency histograms (cycles):")
+		fmt.Print(res.Obs.Table())
+		if len(res.Obs.Spans) > 0 {
+			fmt.Println("\noccupancy and stall spans (cycles):")
+			fmt.Print(res.Obs.SpanTable())
+		}
+		if len(res.Obs.Counters) > 0 {
+			fmt.Println("\nobservability counters:")
+			fmt.Print(res.Obs.CounterTable())
+		}
+	}
 	if *detail {
 		fmt.Println("\nraw counters:")
 		fmt.Print(res.Detail)

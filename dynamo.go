@@ -25,6 +25,7 @@ import (
 	"dynamo/internal/cpu"
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 	"dynamo/internal/trace"
 	"dynamo/internal/workload"
 )
@@ -77,6 +78,20 @@ func DescribeWorkload(name string) (WorkloadInfo, error) {
 	}, nil
 }
 
+// ObsBus collects transaction-level observability data during a run: latency
+// histograms per transaction class and pipeline phase, component-occupancy
+// spans, predictor telemetry and, optionally, a Chrome trace-event timeline.
+type ObsBus = obs.Bus
+
+// ObsReport is the deterministic digest of a run's observability data,
+// attached to Result.Obs when a bus was passed via Options.Obs.
+type ObsReport = obs.Report
+
+// NewObs creates an observability bus to pass via Options.Obs. timeline
+// selects whether per-event timeline data is buffered for WriteTimeline —
+// histograms and counters are always collected.
+func NewObs(timeline bool) *ObsBus { return obs.New(obs.Options{Timeline: timeline}) }
+
 // Options selects what to run.
 type Options struct {
 	// Workload is a Table III workload name (see Workloads).
@@ -98,6 +113,11 @@ type Options struct {
 	SkipValidation bool
 	// Trace, when non-nil, records every executed thread operation.
 	Trace *trace.Writer
+	// Obs, when non-nil, collects transaction-level observability data
+	// (latency histograms and, if the bus enables it, a timeline). The
+	// run's digest lands in Result.Obs; call Obs.WriteTimeline afterwards
+	// for the Chrome trace-event export.
+	Obs *obs.Bus
 }
 
 func (o Options) fill() (Options, Config, error) {
@@ -165,6 +185,7 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 		cfg.CPU.Observe = observe
 		defer flush()
 	}
+	cfg.Obs = opts.Obs
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package dynamo
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -215,6 +216,78 @@ func TestPolicyDirectionsEndToEnd(t *testing.T) {
 	}
 	if dyn.Cycles > base.Cycles*105/100 {
 		t.Errorf("dynamo %d cycles much worse than baseline %d", dyn.Cycles, base.Cycles)
+	}
+}
+
+// observedHistogramRun executes one observed histogram run and returns the
+// timeline bytes and the rendered report tables.
+func observedHistogramRun(t *testing.T) ([]byte, string) {
+	t.Helper()
+	cfg := smallConfig()
+	bus := NewObs(true)
+	res, err := Run(Options{
+		Workload: "histogram", Policy: "dynamo-reuse-pn",
+		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil || len(res.Obs.Classes) == 0 {
+		t.Fatal("observed run returned no histogram report")
+	}
+	var buf bytes.Buffer
+	if err := bus.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tables := res.Obs.Table().String() + res.Obs.SpanTable().String() + res.Obs.CounterTable().String()
+	return buf.Bytes(), tables
+}
+
+func TestObservedRunIsDeterministic(t *testing.T) {
+	tl1, tables1 := observedHistogramRun(t)
+	tl2, tables2 := observedHistogramRun(t)
+	if !bytes.Equal(tl1, tl2) {
+		t.Fatal("identical-seed runs produced different timeline exports")
+	}
+	if tables1 != tables2 {
+		t.Fatalf("identical-seed runs produced different histogram tables:\n--- run 1:\n%s\n--- run 2:\n%s", tables1, tables2)
+	}
+	// The timeline must be parseable Chrome trace-event JSON with the
+	// expected track metadata.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tl1, &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+	for _, want := range []string{`"cores"`, `"far-amo"`, `"ph":"X"`} {
+		if !bytes.Contains(tl1, []byte(want)) {
+			t.Fatalf("timeline missing %s", want)
+		}
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := smallConfig()
+	bus := NewObs(false)
+	res, err := Run(Options{
+		Workload: "histogram", Policy: "all-near",
+		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Cycles"`, `"classes"`, `"rn.loads"`} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("result JSON missing %s:\n%.500s", want, out)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"dynamo/internal/hbm"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -94,6 +95,10 @@ type Config struct {
 
 	Mesh noc.Config
 	Mem  hbm.Config
+
+	// Obs, when non-nil, receives transaction lifecycle events from every
+	// component (see package obs). A nil bus costs one nil check per probe.
+	Obs *obs.Bus
 }
 
 // Validate reports configuration errors.
@@ -142,6 +147,7 @@ type System struct {
 	Mem    *hbm.Memory
 	Data   *memory.Store
 	Policy Policy
+	Obs    *obs.Bus
 	RNs    []*RN
 	HNs    []*HN
 }
@@ -164,6 +170,8 @@ func NewSystem(cfg Config, policy Policy) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	mesh.AttachObs(cfg.Obs)
+	mem.AttachObs(cfg.Obs)
 	s := &System{
 		Cfg:    cfg,
 		Engine: sim.NewEngine(),
@@ -171,6 +179,7 @@ func NewSystem(cfg Config, policy Policy) (*System, error) {
 		Mem:    mem,
 		Data:   memory.NewStore(),
 		Policy: policy,
+		Obs:    cfg.Obs,
 	}
 	var even, odd []int
 	for id := 0; id < mesh.Nodes(); id++ {

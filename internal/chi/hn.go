@@ -7,6 +7,7 @@ import (
 	"dynamo/internal/cache"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -42,6 +43,7 @@ type txn struct {
 	hadCopy   bool // requestor holds a valid copy (upgrade)
 	hadDirty  bool // requestor's copy/writeback data is dirty
 	amoReq    *Request
+	obsID     obs.TxnID
 }
 
 // HNStats counts home-node activity.
@@ -105,8 +107,11 @@ func (hn *HN) Directory(line memory.Line) (owner int, sharers uint64) {
 	return -1, 0
 }
 
-// receive accepts a transaction, serializing per line.
+// receive accepts a transaction, serializing per line. The hn-dir phase
+// opens at arrival time, so it includes any wait for the line's TBE
+// (per-line transaction serialization) on top of the pipeline latency.
 func (hn *HN) receive(t *txn) {
+	hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseHNDir)
 	start := func() { hn.start(t) }
 	if _, active := hn.busy[t.line]; active {
 		hn.busy[t.line] = append(hn.busy[t.line], start)
@@ -169,13 +174,16 @@ func (hn *HN) start(t *txn) {
 // snoopAll sends parallel snoops to every RN in the targets bitmask and
 // calls cont once all responses arrive. anyDirty reports whether any
 // snooped copy held dirty data; present is the mask of RNs that actually
-// still held the line.
-func (hn *HN) snoopAll(targets uint64, line memory.Line, invalidate bool, cont func(anyDirty bool, present uint64)) {
+// still held the line. parent is the observed transaction the snoops serve
+// (its snoop phase covers the full round-trip fan-out); each individual
+// snoop is additionally tracked as a ClassSnoop transaction of its own.
+func (hn *HN) snoopAll(parent obs.TxnID, targets uint64, line memory.Line, invalidate bool, cont func(anyDirty bool, present uint64)) {
 	n := bits.OnesCount64(targets)
 	if n == 0 {
 		cont(false, 0)
 		return
 	}
+	hn.sys.Obs.Phase(parent, hn.sys.Engine.Now(), obs.PhaseSnoop)
 	pending := n
 	anyDirty := false
 	var present uint64
@@ -183,6 +191,10 @@ func (hn *HN) snoopAll(targets uint64, line memory.Line, invalidate bool, cont f
 		core := bits.TrailingZeros64(t)
 		rn := hn.sys.RNs[core]
 		hn.Stats.SnoopsSent++
+		var sid obs.TxnID
+		if hn.sys.Obs != nil {
+			sid = hn.sys.Obs.BeginTxn(hn.sys.Engine.Now(), obs.ClassSnoop, line.Base(), core)
+		}
 		hn.sys.send(hn.node, rn.node, noc.ControlFlits, func() {
 			rn.handleSnoop(line, invalidate, func(hadCopy, dirty bool) {
 				flits := noc.ControlFlits
@@ -191,6 +203,7 @@ func (hn *HN) snoopAll(targets uint64, line memory.Line, invalidate bool, cont f
 					hn.Stats.DirtyForwards++
 				}
 				hn.sys.send(rn.node, hn.node, flits, func() {
+					hn.sys.Obs.EndTxn(sid, hn.sys.Engine.Now())
 					if hadCopy {
 						present |= 1 << uint(core)
 					}
@@ -209,21 +222,26 @@ func (hn *HN) snoopAll(targets uint64, line memory.Line, invalidate bool, cont f
 
 // lineData resolves when the line's data is available at the HN: the AMO
 // buffer, the LLC data array, or main memory (installing into the LLC on a
-// memory fill). forAtomic selects AMO-buffer participation.
-func (hn *HN) lineData(line memory.Line, forAtomic bool) (ready sim.Tick) {
+// memory fill). forAtomic selects AMO-buffer participation. obsID is the
+// observed transaction waiting on the data: SRAM-served lines enter the
+// hn-data phase, memory fills the hbm phase.
+func (hn *HN) lineData(obsID obs.TxnID, line memory.Line, forAtomic bool) (ready sim.Tick) {
 	now := hn.sys.Engine.Now()
 	if forAtomic {
 		if _, ok := hn.amoBuf.Lookup(uint64(line)); ok {
 			hn.Stats.AMOBufHits++
+			hn.sys.Obs.Phase(obsID, now, obs.PhaseHNData)
 			return now + hn.sys.Cfg.AMOBufLatency
 		}
 		hn.Stats.AMOBufMisses++
 	}
 	if _, ok := hn.llc.Lookup(uint64(line)); ok {
 		hn.Stats.LLCHits++
+		hn.sys.Obs.Phase(obsID, now, obs.PhaseHNData)
 		return now + hn.sys.Cfg.LLCDataLatency
 	}
 	hn.Stats.LLCMisses++
+	hn.sys.Obs.Phase(obsID, now, obs.PhaseHBM)
 	done := hn.sys.Mem.Read(line, now)
 	hn.llcInsert(line, false)
 	return done
@@ -252,6 +270,7 @@ func (hn *HN) respond(t *txn, granted memory.State, withData bool) {
 	if withData {
 		flits = noc.DataFlits
 	}
+	hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseNoCResp)
 	hn.sys.send(hn.node, rn.node, flits, func() {
 		rn.fillArrived(t.line, granted)
 		hn.sys.send(rn.node, hn.node, noc.ControlFlits, func() { hn.release(t.line) })
@@ -267,7 +286,7 @@ func (hn *HN) readShared(t *txn) {
 	rbit := uint64(1) << uint(t.requestor)
 	if e.owner >= 0 && e.owner != t.requestor {
 		owner := e.owner
-		hn.snoopAll(1<<uint(owner), t.line, false, func(dirty bool, present uint64) {
+		hn.snoopAll(t.obsID, 1<<uint(owner), t.line, false, func(dirty bool, present uint64) {
 			if present == 0 {
 				// The owner's copy evaporated (writeback in flight); fall
 				// back to the memory path.
@@ -295,7 +314,7 @@ func (hn *HN) readSharedFromHome(t *txn, e *dirEntry, rbit uint64) {
 	if e.sharers&^rbit == 0 {
 		granted = memory.UniqueClean
 	}
-	ready := hn.lineData(t.line, false)
+	ready := hn.lineData(t.obsID, t.line, false)
 	hn.sys.Engine.At(ready, func() {
 		e.sharers |= rbit
 		if granted.Unique() {
@@ -313,7 +332,7 @@ func (hn *HN) readUnique(t *txn) {
 	e := hn.entry(t.line)
 	rbit := uint64(1) << uint(t.requestor)
 	targets := e.sharers &^ rbit
-	hn.snoopAll(targets, t.line, true, func(anyDirty bool, _ uint64) {
+	hn.snoopAll(t.obsID, targets, t.line, true, func(anyDirty bool, _ uint64) {
 		// Whether the requestor still holds its copy decides between an
 		// upgrade (dataless response) and a full fill.
 		stillHeld := t.hadCopy && e.sharers&rbit != 0
@@ -331,7 +350,7 @@ func (hn *HN) readUnique(t *txn) {
 			// Dirty data migrates from the previous owner.
 			hn.respond(t, memory.UniqueDirty, true)
 		default:
-			ready := hn.lineData(t.line, false)
+			ready := hn.lineData(t.obsID, t.line, false)
 			hn.sys.Engine.At(ready, func() {
 				hn.llc.Remove(uint64(t.line))
 				hn.respond(t, memory.UniqueClean, true)
@@ -353,6 +372,7 @@ func (hn *HN) writeBack(t *txn) {
 		hn.llcInsert(t.line, t.hadDirty)
 	}
 	hn.dropIfEmpty(t.line)
+	hn.sys.Obs.EndTxn(t.obsID, hn.sys.Engine.Now())
 	hn.release(t.line)
 }
 
@@ -368,37 +388,52 @@ func (hn *HN) atomic(t *txn) {
 		hn.Stats.AtomicLoads++
 	}
 	e := hn.entry(t.line)
-	hn.snoopAll(e.sharers, t.line, true, func(anyDirty bool, _ uint64) {
+	hn.snoopAll(t.obsID, e.sharers, t.line, true, func(anyDirty bool, _ uint64) {
 		e.owner = -1
 		e.sharers = 0
 		hn.dropIfEmpty(t.line)
 		rn := hn.sys.RNs[t.requestor]
 
-		// AtomicStore completes for the requestor as soon as coherence is
-		// resolved, before the ALU executes (Section III-B1).
+		// The data fetch is off the requestor's critical path for a
+		// no-return atomic (the ack below leaves immediately), so only
+		// value-returning atomics attribute it as a phase.
+		dataID := t.obsID
 		if req.NoReturn {
-			hn.sys.send(hn.node, rn.node, noc.ControlFlits, func() {
-				rn.complete(req, 0)
-			})
+			dataID = 0
 		}
-
 		var ready sim.Tick
 		if anyDirty {
 			ready = hn.sys.Engine.Now() // data arrived with the snoop response
 		} else {
-			ready = hn.lineData(t.line, true)
+			ready = hn.lineData(dataID, t.line, true)
+		}
+
+		// AtomicStore completes for the requestor as soon as coherence is
+		// resolved, before the ALU executes (Section III-B1). The observed
+		// transaction ends at the acknowledgment, so the residual ALU work
+		// shows up only in the "far-amo" occupancy span, not as a phase.
+		if req.NoReturn {
+			hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseNoCResp)
+			hn.sys.send(hn.node, rn.node, noc.ControlFlits, func() {
+				rn.complete(req, 0)
+			})
 		}
 		start := ready
 		if hn.aluFree > start {
 			start = hn.aluFree
 		}
 		hn.aluFree = start + hn.sys.Cfg.FarAMOOccupancy
+		if !req.NoReturn {
+			hn.sys.Obs.Phase(t.obsID, start, obs.PhaseALU)
+		}
+		hn.sys.Obs.Span(obs.Track{Group: obs.TrackHN, ID: hn.idx}, "far-amo", start, hn.sys.Cfg.FarAMOOccupancy)
 		execAt := start + hn.sys.Cfg.ALULatency
 		hn.sys.Engine.At(execAt, func() {
 			old := hn.sys.Data.AMO(req.Op, req.Addr, req.Operand, req.Compare)
 			hn.amoBuf.Insert(uint64(t.line), struct{}{})
 			hn.llcInsert(t.line, true)
 			if !req.NoReturn {
+				hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseNoCResp)
 				hn.sys.send(hn.node, rn.node, noc.ControlFlits, func() {
 					rn.complete(req, old)
 				})

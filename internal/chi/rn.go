@@ -6,6 +6,7 @@ import (
 	"dynamo/internal/cache"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -49,6 +50,9 @@ type Request struct {
 	Done     func(value uint64)
 
 	issued sim.Tick
+	// obs tracks the request on the probe bus (0 when observability is off
+	// or the request was generated internally, e.g. by the prefetcher).
+	obs obs.TxnID
 }
 
 // RNStats counts request-node activity.
@@ -151,6 +155,17 @@ func (rn *RN) Access(req *Request) {
 			rn.Stats.AMOLoadOps++
 		}
 	}
+	if rn.sys.Obs != nil {
+		class := obs.ClassLoad
+		switch req.Kind {
+		case Store:
+			class = obs.ClassStore
+		case AMO:
+			// Provisional: reclassified to near/far once placement is known.
+			class = obs.ClassAMO
+		}
+		req.obs = rn.sys.Obs.BeginTxn(req.issued, class, req.Addr, rn.id)
+	}
 	rn.sys.Engine.Schedule(rn.sys.Cfg.L1Latency, func() { rn.lookup(req, true) })
 }
 
@@ -166,6 +181,7 @@ func (rn *RN) lookup(req *Request, chargeL2 bool) {
 	rn.Stats.L1Misses++
 	if m, ok := rn.mshrs[line]; ok {
 		// A fill for this line is in flight; merge.
+		rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseMSHRWait)
 		m.reqs = append(m.reqs, req)
 		return
 	}
@@ -179,6 +195,7 @@ func (rn *RN) lookup(req *Request, chargeL2 bool) {
 // afterL2 runs once the L2 has been probed.
 func (rn *RN) afterL2(req *Request, line memory.Line) {
 	if m, ok := rn.mshrs[line]; ok {
+		rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseMSHRWait)
 		m.reqs = append(m.reqs, req)
 		return
 	}
@@ -256,6 +273,7 @@ func (rn *RN) decide(line memory.Line, st memory.State) Placement {
 
 // finishNearAMO applies an AMO locally on a unique line.
 func (rn *RN) finishNearAMO(req *Request, line memory.Line) {
+	rn.sys.Obs.Reclass(req.obs, obs.ClassNearAMO)
 	old := rn.sys.Data.AMO(req.Op, req.Addr, req.Operand, req.Compare)
 	rn.setL1State(line, memory.UniqueDirty)
 	rn.sys.Policy.OnNearComplete(rn.id, line)
@@ -276,6 +294,7 @@ func (rn *RN) miss(req *Request, line memory.Line) {
 			return
 		}
 		rn.Stats.AMONearTxn++
+		rn.sys.Obs.Reclass(req.obs, obs.ClassNearAMO)
 		rn.startFill(req, line, true, txnReadUnique, memory.Invalid)
 	}
 }
@@ -285,7 +304,11 @@ func (rn *RN) miss(req *Request, line memory.Line) {
 // in flight for the line — e.g. two stores replayed from the same fill —
 // the request merges into it instead of issuing a duplicate transaction.
 func (rn *RN) requestUnique(req *Request, line memory.Line, st memory.State, byAMO bool) {
+	if byAMO {
+		rn.sys.Obs.Reclass(req.obs, obs.ClassNearAMO)
+	}
 	if m, ok := rn.mshrs[line]; ok {
+		rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseMSHRWait)
 		m.reqs = append(m.reqs, req)
 		return
 	}
@@ -300,12 +323,14 @@ func (rn *RN) requestUnique(req *Request, line memory.Line, st memory.State, byA
 func (rn *RN) startFill(req *Request, line memory.Line, byAMO bool, kind txnKind, heldState memory.State) {
 	rn.mshrs[line] = &mshr{byAMO: byAMO, reqs: []*Request{req}}
 	hn := rn.sys.HomeOf(line)
+	rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseNoCReq)
 	msg := &txn{
 		kind:      kind,
 		line:      line,
 		requestor: rn.id,
 		hadCopy:   heldState.Present(),
 		hadDirty:  heldState.Dirty(),
+		obsID:     req.obs,
 	}
 	rn.sys.send(rn.node, hn.node, noc.ControlFlits, func() { hn.receive(msg) })
 }
@@ -349,11 +374,14 @@ func (rn *RN) maybePrefetch(line memory.Line) {
 func (rn *RN) issueFarAMO(req *Request, line memory.Line) {
 	rn.Stats.AMOFar++
 	hn := rn.sys.HomeOf(line)
+	rn.sys.Obs.Reclass(req.obs, obs.ClassFarAMO)
+	rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseNoCReq)
 	msg := &txn{
 		kind:      txnAtomic,
 		line:      line,
 		requestor: rn.id,
 		amoReq:    req,
+		obsID:     req.obs,
 	}
 	rn.sys.send(rn.node, hn.node, noc.ControlFlits, func() { hn.receive(msg) })
 }
@@ -419,11 +447,18 @@ func (rn *RN) writeBack(line memory.Line, st memory.State) {
 	if st.Dirty() {
 		flits = noc.DataFlits
 	}
+	var id obs.TxnID
+	if rn.sys.Obs != nil {
+		now := rn.sys.Engine.Now()
+		id = rn.sys.Obs.BeginTxn(now, obs.ClassWriteBack, line.Base(), rn.id)
+		rn.sys.Obs.Phase(id, now, obs.PhaseNoCReq)
+	}
 	msg := &txn{
 		kind:      txnWriteBack,
 		line:      line,
 		requestor: rn.id,
 		hadDirty:  st.Dirty(),
+		obsID:     id,
 	}
 	rn.sys.send(rn.node, hn.node, flits, func() { hn.receive(msg) })
 }
@@ -489,6 +524,7 @@ func (rn *RN) complete(req *Request, value uint64) {
 	case Load:
 		rn.Stats.LoadLatencySum += lat
 	}
+	rn.sys.Obs.EndTxn(req.obs, rn.sys.Engine.Now())
 	if req.Done != nil {
 		req.Done(value)
 	}

@@ -4,6 +4,7 @@ import (
 	"dynamo/internal/cache"
 	"dynamo/internal/chi"
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 )
 
 // metricEntry holds the per-line statistics of the metric-based predictor:
@@ -22,6 +23,7 @@ type metricEntry struct {
 type Metric struct {
 	cfg    AMTConfig
 	tables []*cache.SetAssoc[metricEntry] // one AMT per core
+	obs    *obs.Bus
 }
 
 var _ chi.Policy = (*Metric)(nil)
@@ -35,6 +37,11 @@ func NewMetric(cores int, cfg AMTConfig) *Metric {
 	}
 	return m
 }
+
+// AttachObs points the predictor at an observability bus, which then
+// receives AMT telemetry counters (pred.amt.*, pred.near, pred.far,
+// pred.metric.*).
+func (m *Metric) AttachObs(b *obs.Bus) { m.obs = b }
 
 // Name implements chi.Policy.
 func (m *Metric) Name() string { return "dynamo-metric" }
@@ -50,12 +57,19 @@ func (m *Metric) Decide(core int, line memory.Line, st memory.State) chi.Placeme
 	if !ok {
 		// First touch: near AMOs perform well in most cases, so the first
 		// prediction is always near, recorded optimistically.
-		t.Insert(uint64(line), metricEntry{nearCompleted: 1})
+		m.obs.Count("pred.amt.miss", 1)
+		if _, _, evicted := t.Insert(uint64(line), metricEntry{nearCompleted: 1}); evicted {
+			m.obs.Count("pred.amt.evict", 1)
+		}
+		m.obs.Count("pred.near", 1)
 		return chi.Near
 	}
+	m.obs.Count("pred.amt.hit", 1)
 	if e.nearCompleted >= e.invalidations {
+		m.obs.Count("pred.near", 1)
 		return chi.Near
 	}
+	m.obs.Count("pred.far", 1)
 	return chi.Far
 }
 
@@ -66,8 +80,10 @@ func (m *Metric) bump(core int, line memory.Line, inv bool) {
 		return
 	}
 	if inv {
+		m.obs.Count("pred.metric.invalidation", 1)
 		e.invalidations++
 	} else {
+		m.obs.Count("pred.metric.near-complete", 1)
 		e.nearCompleted++
 	}
 	if e.invalidations >= uint32(m.cfg.CounterMax) || e.nearCompleted >= uint32(m.cfg.CounterMax) {

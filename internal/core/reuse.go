@@ -6,6 +6,7 @@ import (
 	"dynamo/internal/cache"
 	"dynamo/internal/chi"
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 )
 
 // Fallback selects the static policy a DynAMO-Reuse predictor applies to
@@ -51,6 +52,7 @@ type Reuse struct {
 	cores    []reuseCore
 	un       *Static
 	pn       *Static
+	obs      *obs.Bus
 }
 
 var _ chi.Policy = (*Reuse)(nil)
@@ -66,6 +68,10 @@ func NewReuse(cores int, cfg AMTConfig, fb Fallback) *Reuse {
 	}
 	return r
 }
+
+// AttachObs points the predictor at an observability bus, which then
+// receives AMT telemetry counters (pred.amt.*, pred.near*, pred.far).
+func (r *Reuse) AttachObs(b *obs.Bus) { r.obs = b }
 
 // Name implements chi.Policy.
 func (r *Reuse) Name() string {
@@ -90,11 +96,14 @@ func (r *Reuse) Decide(core int, line memory.Line, st memory.State) chi.Placemen
 	}
 	c := &r.cores[core]
 	if e, ok := c.amt.Lookup(uint64(line)); ok {
+		r.obs.Count("pred.amt.hit", 1)
 		if e.confidence > 0 {
+			r.obs.Count("pred.near", 1)
 			return chi.Near
 		}
-		return r.fallbackDecide(line, st)
+		return r.counted(r.fallbackDecide(line, st))
 	}
+	r.obs.Count("pred.amt.miss", 1)
 	// New entry: the first decision comes from the global reuse ratio,
 	// filtering streaming/thrashing patterns that would otherwise pollute
 	// the L1. Near-decided entries start with a short probation instead
@@ -103,11 +112,30 @@ func (r *Reuse) Decide(core int, line memory.Line, st memory.State) chi.Placemen
 	// stay far until the line shows up present (the PN fallback) or the
 	// entry ages out of the AMT.
 	if c.amoFills >= 16 && c.amoReused*2 < c.amoFills {
-		c.amt.Insert(uint64(line), reuseEntry{confidence: 0})
+		r.insert(c, line, reuseEntry{confidence: 0})
+		r.obs.Count("pred.far", 1)
 		return chi.Far
 	}
-	c.amt.Insert(uint64(line), reuseEntry{confidence: r.probation()})
+	r.insert(c, line, reuseEntry{confidence: r.probation()})
+	r.obs.Count("pred.near", 1)
 	return chi.Near
+}
+
+// counted tallies a fallback decision under the pred.near/pred.far counters.
+func (r *Reuse) counted(p chi.Placement) chi.Placement {
+	if p == chi.Near {
+		r.obs.Count("pred.near", 1)
+	} else {
+		r.obs.Count("pred.far", 1)
+	}
+	return p
+}
+
+// insert allocates an AMT entry, counting capacity evictions.
+func (r *Reuse) insert(c *reuseCore, line memory.Line, e reuseEntry) {
+	if _, _, evicted := c.amt.Insert(uint64(line), e); evicted {
+		r.obs.Count("pred.amt.evict", 1)
+	}
 }
 
 // OnFill implements chi.Policy: a near-AMO fill arms the reuse bit.
@@ -126,7 +154,7 @@ func (r *Reuse) OnFill(core int, line memory.Line, byAMO bool) {
 	if !ok {
 		// The line's entry may have been displaced from the AMT between
 		// the decision and the fill; re-allocate so learning continues.
-		c.amt.Insert(uint64(line), reuseEntry{confidence: r.probation(), tracking: true})
+		r.insert(c, line, reuseEntry{confidence: r.probation(), tracking: true})
 		return
 	}
 	e.reuseBit = false
@@ -156,11 +184,15 @@ func (r *Reuse) lineLeft(core int, line memory.Line) {
 	}
 	e.tracking = false
 	if e.reuseBit {
+		r.obs.Count("pred.near.reused", 1)
 		if int(e.confidence) < r.cfg.CounterMax {
 			e.confidence++
 		}
-	} else if e.confidence > 0 {
-		e.confidence--
+	} else {
+		r.obs.Count("pred.near.no-reuse", 1)
+		if e.confidence > 0 {
+			e.confidence--
+		}
 	}
 }
 

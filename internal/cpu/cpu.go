@@ -19,6 +19,7 @@ import (
 
 	"dynamo/internal/chi"
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -168,6 +169,9 @@ type Config struct {
 	IssueCost sim.Tick
 	// Observe, when non-nil, receives every executed operation (tracing).
 	Observe func(ObservedOp)
+	// Obs, when non-nil, receives stall spans (named "stall:<reason>") on
+	// the core's track whenever the program blocks on a structural hazard.
+	Obs *obs.Bus
 }
 
 // DefaultConfig mirrors a Neoverse-class store queue scaled to the posted
@@ -209,6 +213,10 @@ type Core struct {
 	resume   func()
 	ready    func() bool
 	onFinish func()
+	// stallName/stallStart describe the pending blocked continuation for
+	// the observability bus; stallName is empty when no stall is recorded.
+	stallName  string
+	stallStart sim.Tick
 
 	// Instructions counts committed instructions (compute cycles count one
 	// each), the denominator of APKI.
@@ -321,12 +329,12 @@ func (c *Core) execute(o op) {
 		c.engine.Schedule(o.cycles, func() { c.advance(0) })
 	case opFence:
 		c.Instructions++
-		c.when(func() bool { return c.outstanding == 0 }, func() {
+		c.when("stall:fence", func() bool { return c.outstanding == 0 }, func() {
 			c.engine.Schedule(0, func() { c.advance(0) })
 		})
 	case opLoad:
 		c.Instructions++
-		c.when(c.wordClear(o.addr), func() {
+		c.when("stall:load-order", c.wordClear(o.addr), func() {
 			c.rn.Access(&chi.Request{
 				Kind: chi.Load,
 				Addr: o.addr,
@@ -335,7 +343,7 @@ func (c *Core) execute(o op) {
 		})
 	case opAMO:
 		c.Instructions++
-		c.when(c.wordClear(o.addr), func() {
+		c.when("stall:atomic-order", c.wordClear(o.addr), func() {
 			c.rn.Access(&chi.Request{
 				Kind:    chi.AMO,
 				Addr:    o.addr,
@@ -378,7 +386,11 @@ func (c *Core) execute(o op) {
 			c.rn.Access(req)
 			c.engine.Schedule(c.cfg.IssueCost, func() { c.advance(0) })
 		}
-		c.when(func() bool {
+		stall := "stall:store-buffer"
+		if isAMO && c.outstanding < c.cfg.StoreBuffer {
+			stall = "stall:atomic-queue"
+		}
+		c.when(stall, func() bool {
 			if c.outstanding >= c.cfg.StoreBuffer {
 				return false
 			}
@@ -400,14 +412,17 @@ func (c *Core) wordClear(a memory.Addr) func() bool {
 
 // when runs fn once cond holds, blocking the program until then. At most
 // one continuation can be pending because the program thread is blocked
-// while it waits.
-func (c *Core) when(cond func() bool, fn func()) {
+// while it waits. stall names the hazard for the observability bus.
+func (c *Core) when(stall string, cond func() bool, fn func()) {
 	if cond() {
 		fn()
 		return
 	}
 	if c.resume != nil {
 		panic("cpu: second blocked continuation")
+	}
+	if c.cfg.Obs != nil {
+		c.stallName, c.stallStart = stall, c.engine.Now()
 	}
 	c.ready = cond
 	c.resume = fn
@@ -421,6 +436,11 @@ func (c *Core) posted() {
 	if c.resume != nil && c.ready() {
 		f := c.resume
 		c.resume, c.ready = nil, nil
+		if c.stallName != "" {
+			now := c.engine.Now()
+			c.cfg.Obs.Span(obs.Track{Group: obs.TrackCore, ID: c.rn.ID()}, c.stallName, c.stallStart, now-c.stallStart)
+			c.stallName = ""
+		}
 		f()
 	}
 }

@@ -278,6 +278,7 @@ func All() []Experiment {
 		{"table4", "Table IV: synchronization alternatives", (*Suite).TableIV},
 		{"ablation", "Ablations: AMO buffer, atomic queue, HN pipeline, prefetcher", (*Suite).Ablations},
 		{"dse", "Section IV: static-policy design space (8 practical candidates)", (*Suite).DesignSpace},
+		{"latency", "Latency breakdown: per-class and per-phase transaction latency", (*Suite).LatencyBreakdown},
 	}
 }
 

@@ -23,7 +23,8 @@ func TestOptionsFill(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	ids := []string{"fig1", "table1", "table2", "table3", "fig6", "fig7",
-		"fig8", "fig9", "energy", "fig10", "hwcost", "fig11", "table4", "ablation", "dse"}
+		"fig8", "fig9", "energy", "fig10", "hwcost", "fig11", "table4", "ablation", "dse",
+		"latency"}
 	if len(All()) != len(ids) {
 		t.Fatalf("All() has %d experiments, want %d", len(All()), len(ids))
 	}
@@ -213,6 +214,37 @@ func TestFigure9Quick(t *testing.T) {
 	}
 	if len(tab.Rows) != 4 {
 		t.Fatalf("Figure 9 has %d rows", len(tab.Rows))
+	}
+}
+
+func TestLatencyBreakdownQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := quickSuite()
+	tab, err := s.LatencyBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("latency breakdown produced no rows")
+	}
+	// Every latency policy must contribute class rows and phase sub-rows.
+	seen := map[string]bool{}
+	phases := 0
+	for _, row := range tab.Rows {
+		seen[row[0]] = true
+		if strings.HasPrefix(row[1], "  ") {
+			phases++
+		}
+	}
+	for _, p := range latencyPolicies {
+		if !seen[p] {
+			t.Errorf("no rows for policy %s", p)
+		}
+	}
+	if phases == 0 {
+		t.Fatal("no per-phase rows")
 	}
 }
 

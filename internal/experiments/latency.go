@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynamo/internal/machine"
+	"dynamo/internal/obs"
+	"dynamo/internal/stats"
+	"dynamo/internal/workload"
+)
+
+// observedRun executes one workload under one policy with the observability
+// bus enabled and returns the run's report. Observed runs bypass the suite
+// cache: they exist only for the latency experiment, and sharing results
+// with unobserved runs would make cache order visible in the output.
+func (s *Suite) observedRun(wl, policy string) (*obs.Report, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Policy = policy
+	cfg.Obs = obs.New(obs.Options{})
+	spec, err := workload.Get(wl)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: s.opts.Threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	s.logf("  observed %-12s %-16s %10d cycles", wl, policy, res.Cycles)
+	return res.Obs, nil
+}
+
+// latencyPolicies are the policies the breakdown contrasts: the paper's
+// baseline, the best simple static policy, and the headline predictor.
+var latencyPolicies = []string{"all-near", "unique-near", "dynamo-reuse-pn"}
+
+// LatencyBreakdown renders the observability layer's latency-breakdown
+// table for the histogram workload: per transaction class the end-to-end
+// latency distribution, and under each class the per-phase decomposition
+// (issue, NoC, HN directory including TBE wait, snoops, LLC/HBM data, ALU,
+// response). share% is the class's share of all transaction cycles, and a
+// phase's share of its class's attributed cycles.
+func (s *Suite) LatencyBreakdown() (*stats.Table, error) {
+	t := &stats.Table{Header: []string{"policy", "txn", "count", "mean", "p50", "p95", "p99", "share%"}}
+	for _, policy := range latencyPolicies {
+		rep, err := s.observedRun("histogram", policy)
+		if err != nil {
+			return nil, err
+		}
+		classSums := make([]float64, len(rep.Classes))
+		for i, c := range rep.Classes {
+			classSums[i] = float64(c.Sum)
+		}
+		total := stats.Sum(classSums)
+		for i, c := range rep.Classes {
+			t.AddRow(policy, c.Name, fmt.Sprint(c.Count), stats.F(c.Mean),
+				stats.F(c.P50), stats.F(c.P95), stats.F(c.P99),
+				stats.F(100*classSums[i]/total))
+			var phaseSums []float64
+			for _, p := range rep.Phases {
+				if phaseOf(p.Name, c.Name) {
+					phaseSums = append(phaseSums, float64(p.Sum))
+				}
+			}
+			attributed := stats.Sum(phaseSums)
+			for _, p := range rep.Phases {
+				if !phaseOf(p.Name, c.Name) {
+					continue
+				}
+				t.AddRow(policy, "  "+p.Name, fmt.Sprint(p.Count), stats.F(p.Mean),
+					stats.F(p.P50), stats.F(p.P95), stats.F(p.P99),
+					stats.F(100*float64(p.Sum)/attributed))
+			}
+		}
+		// Spread of mean latency across classes: how unevenly this policy
+		// treats the traffic mix.
+		means := make([]float64, len(rep.Classes))
+		for i, c := range rep.Classes {
+			means[i] = c.Mean
+		}
+		t.AddRow(policy, "class-mean spread", fmt.Sprint(len(means)),
+			stats.F(stats.Mean(means)), stats.F(stats.Percentile(means, 0.50)),
+			stats.F(stats.Percentile(means, 0.95)), stats.F(stats.Percentile(means, 0.99)), "")
+	}
+	return t, nil
+}
+
+// phaseOf reports whether a "class/phase" summary name belongs to class.
+func phaseOf(name, class string) bool {
+	return len(name) > len(class) && name[:len(class)] == class && name[len(class)] == '/'
+}

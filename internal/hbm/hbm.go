@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -52,6 +53,7 @@ type Memory struct {
 	cfg      Config
 	nextFree []sim.Tick
 	stats    Stats
+	obs      *obs.Bus
 }
 
 // New builds a memory model from cfg.
@@ -61,6 +63,11 @@ func New(cfg Config) (*Memory, error) {
 	}
 	return &Memory{cfg: cfg, nextFree: make([]sim.Tick, cfg.Channels)}, nil
 }
+
+// AttachObs points the memory at an observability bus; each access then
+// publishes a "burst" occupancy span on its channel's track. A nil bus
+// disables publication.
+func (m *Memory) AttachObs(b *obs.Bus) { m.obs = b }
 
 // Channel returns the channel that serves the line.
 func (m *Memory) Channel(line memory.Line) int {
@@ -75,6 +82,9 @@ func (m *Memory) access(line memory.Line, now sim.Tick) sim.Tick {
 		start = free
 	}
 	m.nextFree[ch] = start + m.cfg.LineOccupancy
+	if m.obs != nil {
+		m.obs.Span(obs.Track{Group: obs.TrackHBM, ID: ch}, "burst", start, m.cfg.LineOccupancy)
+	}
 	return start + m.cfg.Latency
 }
 

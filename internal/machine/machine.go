@@ -13,6 +13,7 @@ import (
 	"dynamo/internal/energy"
 	"dynamo/internal/hbm"
 	"dynamo/internal/noc"
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 	"dynamo/internal/stats"
 )
@@ -28,6 +29,10 @@ type Config struct {
 	MaxEvents uint64
 	// Energy customizes the energy model; zero value selects the default.
 	Energy energy.Model
+	// Obs, when non-nil, collects transaction-level observability data
+	// (latency histograms, optional timeline) from every component. The
+	// run's digest lands in Result.Obs.
+	Obs *obs.Bus
 }
 
 // DefaultConfig reproduces Table II scaled to cycle-level first-order
@@ -106,6 +111,10 @@ type Result struct {
 	Energy        energy.Breakdown
 	NoC           noc.Stats
 	Mem           hbm.Stats
+	// Obs digests the run's observability data (latency histograms per
+	// transaction class and phase, occupancy spans, predictor counters).
+	// Nil unless the machine was built with Config.Obs.
+	Obs *obs.Report
 	// Detail carries every raw counter for reports and debugging.
 	Detail *stats.Group
 }
@@ -139,6 +148,13 @@ func NewWithPolicy(cfg Config, policy chi.Policy) (*Machine, error) {
 		return nil, fmt.Errorf("machine: nil policy")
 	}
 	cfg.Policy = policy.Name()
+	cfg.Chi.Obs = cfg.Obs
+	cfg.CPU.Obs = cfg.Obs
+	if cfg.Obs != nil {
+		if ao, ok := policy.(interface{ AttachObs(*obs.Bus) }); ok {
+			ao.AttachObs(cfg.Obs)
+		}
+	}
 	sys, err := chi.NewSystem(cfg.Chi, policy)
 	if err != nil {
 		return nil, err
@@ -280,5 +296,8 @@ func (m *Machine) collect(cores []*cpu.Core) *Result {
 	r.Detail.Add("noc.flithops", r.NoC.FlitHops)
 	r.Detail.Add("mem.reads", r.Mem.Reads)
 	r.Detail.Add("mem.writes", r.Mem.Writes)
+	if m.Sys.Obs != nil {
+		r.Obs = m.Sys.Obs.Report()
+	}
 	return r
 }

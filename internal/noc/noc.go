@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 
+	"dynamo/internal/obs"
 	"dynamo/internal/sim"
 )
 
@@ -53,6 +54,7 @@ type Stats struct {
 type Mesh struct {
 	cfg   Config
 	stats Stats
+	obs   *obs.Bus
 	// nextFree[node][dir] is the first cycle the link is idle.
 	nextFree [][4]sim.Tick
 }
@@ -75,6 +77,11 @@ func New(cfg Config) (*Mesh, error) {
 		nextFree: make([][4]sim.Tick, cfg.Width*cfg.Height),
 	}, nil
 }
+
+// AttachObs points the mesh at an observability bus; each link traversal
+// then publishes a "xfer" occupancy span on the link's track (node*4+dir,
+// the encoding obs track names decode). A nil bus disables publication.
+func (m *Mesh) AttachObs(b *obs.Bus) { m.obs = b }
 
 // Nodes returns the number of mesh nodes.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
@@ -159,6 +166,9 @@ func (m *Mesh) Send(src, dst int, flits int, now sim.Tick) sim.Tick {
 			depart = free
 		}
 		m.nextFree[node][dir] = depart + sim.Tick(flits)
+		if m.obs != nil && m.obs.TimelineEnabled() {
+			m.obs.Span(obs.Track{Group: obs.TrackNoC, ID: node*4 + dir}, "xfer", depart, sim.Tick(flits))
+		}
 		t = depart + m.cfg.RouteLatency + m.cfg.LinkLatency
 		hops++
 	}

@@ -1,0 +1,280 @@
+// Package obs is the simulator's observability subsystem: a probe bus that
+// timing components publish typed transaction-lifecycle events to, feeding
+// two collectors — log2-bucketed latency histograms keyed by transaction
+// class and component phase, and a Chrome trace-event timeline that opens
+// directly in ui.perfetto.dev.
+//
+// The bus is designed to cost nothing when observability is off: every
+// publishing method is safe on a nil *Bus and returns immediately, so a
+// disabled probe is a nil check. Components therefore hold a plain *Bus
+// field (nil by default) and publish unconditionally.
+//
+// All events are published from simulation events, which the engine runs
+// single-threaded in deterministic order, so collected histograms and
+// exported timelines are byte-identical across runs of the same seed and
+// configuration.
+package obs
+
+import (
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+// Class is the transaction class a lifecycle event belongs to. AMOs begin
+// as ClassAMO and are reclassified to near or far once the placement
+// decision is made.
+type Class uint8
+
+const (
+	ClassLoad Class = iota
+	ClassStore
+	ClassAMO // placement not yet decided
+	ClassNearAMO
+	ClassFarAMO
+	ClassSnoop
+	ClassWriteBack
+
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassAMO:
+		return "amo"
+	case ClassNearAMO:
+		return "near-amo"
+	case ClassFarAMO:
+		return "far-amo"
+	case ClassSnoop:
+		return "snoop"
+	case ClassWriteBack:
+		return "writeback"
+	}
+	return "class?"
+}
+
+// Phase is one stage of a transaction's life. A transaction is in exactly
+// one phase at a time; the duration of a phase runs from its Phase event to
+// the next Phase (or End) event of the same transaction.
+type Phase uint8
+
+const (
+	// PhaseIssue covers RN issue plus the private L1/L2 lookups.
+	PhaseIssue Phase = iota
+	// PhaseMSHRWait covers requests merged into an in-flight fill.
+	PhaseMSHRWait
+	// PhaseNoCReq is the request's mesh traversal to the home node.
+	PhaseNoCReq
+	// PhaseHNDir is the home-node directory pipeline.
+	PhaseHNDir
+	// PhaseSnoop is the snoop round-trip the home node waits on.
+	PhaseSnoop
+	// PhaseHNData is the LLC data array or AMO-buffer access.
+	PhaseHNData
+	// PhaseHBM is a main-memory access.
+	PhaseHBM
+	// PhaseALU is the far-AMO ALU operation (including pipeline queueing).
+	PhaseALU
+	// PhaseNoCResp is the response's mesh traversal back to the requestor.
+	PhaseNoCResp
+
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIssue:
+		return "issue"
+	case PhaseMSHRWait:
+		return "mshr-wait"
+	case PhaseNoCReq:
+		return "noc-req"
+	case PhaseHNDir:
+		return "hn-dir"
+	case PhaseSnoop:
+		return "snoop"
+	case PhaseHNData:
+		return "hn-data"
+	case PhaseHBM:
+		return "hbm"
+	case PhaseALU:
+		return "amo-alu"
+	case PhaseNoCResp:
+		return "noc-resp"
+	}
+	return "phase?"
+}
+
+// TrackGroup partitions timeline tracks by component type.
+type TrackGroup uint8
+
+const (
+	TrackCore TrackGroup = iota
+	TrackHN
+	TrackNoC
+	TrackHBM
+
+	numTrackGroups
+)
+
+// String names the group; it doubles as the Perfetto process name.
+func (g TrackGroup) String() string {
+	switch g {
+	case TrackCore:
+		return "cores"
+	case TrackHN:
+		return "home-nodes"
+	case TrackNoC:
+		return "noc-links"
+	case TrackHBM:
+		return "hbm-channels"
+	}
+	return "track?"
+}
+
+// Track identifies one timeline row: a core, a home-node slice, a mesh
+// link, or a memory channel.
+type Track struct {
+	Group TrackGroup
+	ID    int
+}
+
+// TxnID identifies one in-flight transaction on the bus. Zero is reserved
+// for "not tracked" (disabled bus or untracked request) and is accepted and
+// ignored by every method.
+type TxnID uint64
+
+// Options selects what the bus collects. Histograms are always on for an
+// enabled bus (they are cheap); the timeline buffers every event until
+// export and is opt-in.
+type Options struct {
+	// Timeline buffers lifecycle events and component spans for
+	// WriteTimeline. Memory grows with the run; intended for scaled-down
+	// runs that will be inspected visually.
+	Timeline bool
+}
+
+// Bus is the probe bus. A nil *Bus is a valid, permanently disabled bus:
+// every method short-circuits, so components publish unconditionally.
+type Bus struct {
+	hist     *Histograms
+	timeline *Timeline
+	nextID   TxnID
+}
+
+// New builds an enabled bus.
+func New(opt Options) *Bus {
+	b := &Bus{hist: newHistograms()}
+	if opt.Timeline {
+		b.timeline = newTimeline()
+	}
+	return b
+}
+
+// Enabled reports whether the bus collects anything. It is the guard for
+// publish sites that would otherwise do work (formatting, extra lookups)
+// just to build an event.
+func (b *Bus) Enabled() bool { return b != nil }
+
+// TimelineEnabled reports whether the bus buffers timeline events.
+func (b *Bus) TimelineEnabled() bool { return b != nil && b.timeline != nil }
+
+// BeginTxn opens a transaction of the given class at time now, issued by
+// core (whose track anchors the transaction's timeline slice) for addr.
+// The transaction starts in PhaseIssue.
+func (b *Bus) BeginTxn(now sim.Tick, class Class, addr memory.Addr, core int) TxnID {
+	if b == nil {
+		return 0
+	}
+	b.nextID++
+	id := b.nextID
+	b.hist.begin(id, now, class)
+	if b.timeline != nil {
+		b.timeline.begin(id, now, class, addr, core)
+	}
+	return id
+}
+
+// Reclass rewrites the transaction's class (AMO -> near/far once placement
+// is decided). The histogram and timeline report the final class.
+func (b *Bus) Reclass(id TxnID, class Class) {
+	if b == nil || id == 0 {
+		return
+	}
+	b.hist.reclass(id, class)
+	if b.timeline != nil {
+		b.timeline.reclass(id, class)
+	}
+}
+
+// Phase moves the transaction into phase ph at time now. Events for a
+// transaction must carry non-decreasing times; events after EndTxn are
+// dropped (an AtomicStore completes for the requestor before its ALU work
+// finishes).
+func (b *Bus) Phase(id TxnID, now sim.Tick, ph Phase) {
+	if b == nil || id == 0 {
+		return
+	}
+	b.hist.phase(id, now, ph)
+	if b.timeline != nil {
+		b.timeline.phase(id, now, ph)
+	}
+}
+
+// EndTxn closes the transaction at time now, feeding its end-to-end latency
+// and final phase duration into the histograms.
+func (b *Bus) EndTxn(id TxnID, now sim.Tick) {
+	if b == nil || id == 0 {
+		return
+	}
+	b.hist.end(id, now)
+	if b.timeline != nil {
+		b.timeline.end(id, now)
+	}
+}
+
+// Span records a completed occupancy interval [start, start+dur) on a
+// component track: a link transfer, a channel burst, an ALU operation, a
+// core stall. Spans on one track must not overlap (each models an exclusive
+// resource); names should come from a small fixed set.
+func (b *Bus) Span(track Track, name string, start, dur sim.Tick) {
+	if b == nil {
+		return
+	}
+	b.hist.span(name, dur)
+	if b.timeline != nil {
+		b.timeline.span(track, name, start, dur)
+	}
+}
+
+// Count adds n to the named free-form counter (predictor telemetry, stall
+// cycles). Names are reported in sorted order.
+func (b *Bus) Count(name string, n uint64) {
+	if b == nil {
+		return
+	}
+	b.hist.count(name, n)
+}
+
+// Histograms returns the histogram collector, or nil on a disabled bus.
+func (b *Bus) Histograms() *Histograms {
+	if b == nil {
+		return nil
+	}
+	return b.hist
+}
+
+// Report summarizes the collected histograms, or returns nil on a disabled
+// bus.
+func (b *Bus) Report() *Report {
+	if b == nil {
+		return nil
+	}
+	return b.hist.Report()
+}

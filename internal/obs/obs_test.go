@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() || b.TimelineEnabled() {
+		t.Fatal("nil bus reports enabled")
+	}
+	id := b.BeginTxn(0, ClassLoad, 0x40, 3)
+	if id != 0 {
+		t.Fatalf("nil bus issued txn id %d", id)
+	}
+	b.Reclass(id, ClassFarAMO)
+	b.Phase(id, 5, PhaseNoCReq)
+	b.EndTxn(id, 10)
+	b.Span(Track{TrackHBM, 1}, "burst", 0, 2)
+	b.Count("x", 1)
+	if b.Histograms() != nil || b.Report() != nil {
+		t.Fatal("nil bus returned collectors")
+	}
+	if err := b.WriteTimeline(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil bus WriteTimeline succeeded")
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g", got)
+	}
+	h.Observe(7)
+	if h.Count() != 1 || h.Sum() != 7 || h.Min() != 7 || h.Max() != 7 {
+		t.Fatalf("single-sample stats: count=%d sum=%d min=%d max=%d", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.99); got != 7 {
+		t.Fatalf("single-sample p99 = %g, want 7 (clamped to max)", got)
+	}
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("stats after 6 samples: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if h.Mean() != float64(h.Sum())/6 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 1 || p50 > 100 {
+		t.Fatalf("p50 = %g out of plausible range", p50)
+	}
+	if p99 < p50 || p99 > 1000 {
+		t.Fatalf("p99 = %g (p50 = %g)", p99, p50)
+	}
+}
+
+func TestHistZeroSample(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("zero sample: count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("p50 of {0} = %g", got)
+	}
+}
+
+func TestTxnLifecycleFeedsHistograms(t *testing.T) {
+	b := New(Options{})
+	id := b.BeginTxn(100, ClassAMO, 0x80, 2)
+	b.Reclass(id, ClassFarAMO)
+	b.Phase(id, 110, PhaseNoCReq)
+	b.Phase(id, 130, PhaseHNDir)
+	b.Phase(id, 135, PhaseALU)
+	b.EndTxn(id, 150)
+
+	h := b.Histograms()
+	if got := h.Class(ClassFarAMO).Count(); got != 1 {
+		t.Fatalf("far-amo count = %d", got)
+	}
+	if got := h.Class(ClassFarAMO).Sum(); got != 50 {
+		t.Fatalf("far-amo latency sum = %d, want 50", got)
+	}
+	if got := h.Class(ClassAMO).Count(); got != 0 {
+		t.Fatalf("provisional amo class kept %d samples after reclass", got)
+	}
+	// Phase durations: issue 10, noc-req 20, hn-dir 5, alu 15 — all under
+	// the final class.
+	cases := []struct {
+		ph   Phase
+		want uint64
+	}{{PhaseIssue, 10}, {PhaseNoCReq, 20}, {PhaseHNDir, 5}, {PhaseALU, 15}}
+	for _, c := range cases {
+		ph := h.ClassPhase(ClassFarAMO, c.ph)
+		if ph.Count() != 1 || ph.Sum() != c.want {
+			t.Fatalf("phase %v: count=%d sum=%d, want sum %d", c.ph, ph.Count(), ph.Sum(), c.want)
+		}
+	}
+	// Events after the end are dropped (early-acked AtomicStore).
+	b.Phase(id, 160, PhaseALU)
+	b.EndTxn(id, 170)
+	if got := h.Class(ClassFarAMO).Count(); got != 1 {
+		t.Fatalf("post-end events changed count to %d", got)
+	}
+}
+
+func TestReportOrderingAndCounters(t *testing.T) {
+	b := New(Options{})
+	b.Count("zeta", 2)
+	b.Count("alpha", 1)
+	b.Count("zeta", 3)
+	b.Span(Track{TrackNoC, 5}, "link", 10, 2)
+	b.Span(Track{TrackHBM, 0}, "burst", 10, 4)
+	id := b.BeginTxn(0, ClassLoad, 0, 0)
+	b.EndTxn(id, 8)
+
+	r := b.Report()
+	if len(r.Classes) != 1 || r.Classes[0].Name != "load" || r.Classes[0].Sum != 8 {
+		t.Fatalf("classes = %+v", r.Classes)
+	}
+	if len(r.Counters) != 2 || r.Counters[0].Name != "alpha" || r.Counters[1].Value != 5 {
+		t.Fatalf("counters = %+v", r.Counters)
+	}
+	if len(r.Spans) != 2 || r.Spans[0].Name != "burst" || r.Spans[1].Name != "link" {
+		t.Fatalf("spans = %+v", r.Spans)
+	}
+	tbl := r.Table().String()
+	if !strings.Contains(tbl, "load") || !strings.Contains(tbl, "p99") {
+		t.Fatalf("table missing expected content:\n%s", tbl)
+	}
+	if _, err := json.Marshal(r); err != nil {
+		t.Fatalf("report not JSON-marshalable: %v", err)
+	}
+}
+
+// drive publishes one fixed event sequence.
+func drive(b *Bus) {
+	id := b.BeginTxn(10, ClassAMO, 0x1040, 1)
+	b.Reclass(id, ClassNearAMO)
+	b.Phase(id, 12, PhaseNoCReq)
+	b.Phase(id, 20, PhaseHNDir)
+	b.Phase(id, 25, PhaseNoCResp)
+	b.EndTxn(id, 30)
+	id2 := b.BeginTxn(11, ClassStore, 0x2000, 4)
+	b.Span(Track{TrackNoC, 9}, "link", 12, 3)
+	b.Span(Track{TrackHBM, 2}, "burst", 15, 2)
+	b.EndTxn(id2, 40)
+	sn := b.BeginTxn(20, ClassSnoop, 0x1040, 7)
+	b.EndTxn(sn, 33)
+	b.BeginTxn(35, ClassLoad, 0x3000, 0) // still in flight at run end
+}
+
+func TestTimelineExport(t *testing.T) {
+	b := New(Options{Timeline: true})
+	drive(b)
+	var buf bytes.Buffer
+	if err := b.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !json.Valid(out) {
+		t.Fatalf("timeline is not valid JSON:\n%s", out)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	for _, want := range []string{`"near-amo"`, `"noc-req"`, `"link n2.W"`, `"channel 2"`, `"cores"`, `"ph":"X"`} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Fatalf("timeline missing %s:\n%.2000s", want, out)
+		}
+	}
+
+	// Determinism: an identical event sequence exports byte-identically.
+	b2 := New(Options{Timeline: true})
+	drive(b2)
+	var buf2 bytes.Buffer
+	if err := b2.WriteTimeline(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, buf2.Bytes()) {
+		t.Fatal("identical event sequences produced different timelines")
+	}
+}

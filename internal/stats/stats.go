@@ -4,9 +4,12 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -24,6 +27,44 @@ func Geomean(xs []float64) float64 {
 		sum += math.Log(x)
 	}
 	return math.Exp(sum / float64(len(xs)))
+}
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Percentile returns the p-quantile (p in [0, 1], clamped) of xs using
+// linear interpolation between closest ranks. It does not modify xs and
+// returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	p = math.Min(math.Max(p, 0), 1)
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
 }
 
 // Speedup returns base/measured: >1 means measured is faster than base when
@@ -89,6 +130,30 @@ func (g *Group) String() string {
 		fmt.Fprintf(&b, "%-32s %12d\n", c.Name, c.Value)
 	}
 	return b.String()
+}
+
+// MarshalJSON encodes the group as a name-to-value object sorted by name,
+// so encodings are byte-stable regardless of insertion order.
+func (g *Group) MarshalJSON() ([]byte, error) {
+	cs := make([]Counter, len(g.counters))
+	copy(cs, g.counters)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, c := range cs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name, err := json.Marshal(c.Name)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(name)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(c.Value, 10))
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
 }
 
 // Table formats rows of cells with left-aligned, width-padded columns; the

@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -63,6 +65,77 @@ func TestGeomeanProperty(t *testing.T) {
 	}
 }
 
+func TestSumMean(t *testing.T) {
+	if Sum(nil) != 0 || Mean(nil) != 0 {
+		t.Fatal("empty-slice Sum/Mean non-zero")
+	}
+	if Sum([]float64{7}) != 7 || Mean([]float64{7}) != 7 {
+		t.Fatal("single-element Sum/Mean wrong")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %g", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %g", Mean(xs))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty-slice Percentile non-zero")
+	}
+	if got := Percentile([]float64{42}, 0.99); got != 42 {
+		t.Fatalf("single-element p99 = %g", got)
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted input must not be modified
+	if got := Percentile(xs, 0.5); got != 2.5 {
+		t.Fatalf("p50 = %g, want 2.5", got)
+	}
+	if xs[0] != 4 {
+		t.Fatal("Percentile modified its input")
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 1); got != 4 {
+		t.Fatalf("p100 = %g, want 4", got)
+	}
+	// Out-of-range quantiles clamp.
+	if Percentile(xs, -1) != 1 || Percentile(xs, 2) != 4 {
+		t.Fatal("out-of-range quantile not clamped")
+	}
+	// Interpolation between ranks: p25 of {1,2,3,4} is 1.75.
+	if got := Percentile(xs, 0.25); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("p25 = %g, want 1.75", got)
+	}
+}
+
+// Property: Percentile is bounded by min/max and monotone in p.
+func TestPercentileProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p1 := float64(a%101) / 100
+		p2 := float64(b%101) / 100
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		return v1 >= sorted[0] && v2 <= sorted[len(sorted)-1] && v1 <= v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSpeedup(t *testing.T) {
 	if got := Speedup(200, 100); got != 2 {
 		t.Fatalf("Speedup = %g, want 2", got)
@@ -92,6 +165,27 @@ func TestGroup(t *testing.T) {
 	}
 	if !strings.Contains(g.String(), "l1.hits") {
 		t.Fatal("String missing counter")
+	}
+}
+
+func TestGroupMarshalJSON(t *testing.T) {
+	g := NewGroup()
+	g.Add("zeta", 2)
+	g.Add("alpha", 1)
+	out, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by name regardless of insertion order, values as numbers.
+	if string(out) != `{"alpha":1,"zeta":2}` {
+		t.Fatalf("MarshalJSON = %s", out)
+	}
+	var decoded map[string]uint64
+	if err := json.Unmarshal(out, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["zeta"] != 2 {
+		t.Fatalf("decoded = %v", decoded)
 	}
 }
 

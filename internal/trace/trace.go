@@ -166,6 +166,9 @@ func (tr *Reader) Read() (Record, error) {
 	if r.Kind > KindCompute {
 		return Record{}, fmt.Errorf("trace: invalid kind %d", r.Kind)
 	}
+	if r.Op > memory.AMOUMax {
+		return Record{}, fmt.Errorf("trace: invalid AMO op %d", r.Op)
+	}
 	return r, nil
 }
 

@@ -84,6 +84,29 @@ func TestTruncatedRecord(t *testing.T) {
 	}
 }
 
+func TestCorruptOpRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{Kind: KindAMO, Op: memory.AMOAdd, Addr: 8})
+	w.Flush()
+	// Corrupt the op byte (offset 3 of the first record, after the 5-byte
+	// header) to a value past the last defined opcode.
+	data := buf.Bytes()
+	data[5+3] = byte(memory.AMOUMax) + 1
+	_, err := NewReader(bytes.NewReader(data)).Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("out-of-range AMO op read: err = %v", err)
+	}
+	// The largest defined opcode stays readable.
+	buf.Reset()
+	w = NewWriter(&buf)
+	w.Write(Record{Kind: KindAMOStore, Op: memory.AMOUMax, Addr: 8})
+	w.Flush()
+	if _, err := NewReader(&buf).Read(); err != nil {
+		t.Fatalf("max valid AMO op rejected: %v", err)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	for _, k := range []Kind{KindLoad, KindStore, KindAMO, KindAMOStore, KindCompute} {
 		if k.String() == "" {
