@@ -1,8 +1,16 @@
 #!/bin/sh
-# Tier-1 check: formatting, vet, build, full test suite.
-# Everything must pass clean before a change lands.
+# Tier-1 check: formatting, vet, build, full test suite, then the
+# stats-regression gate: fresh snapshots of a smoke set of runs are diffed
+# against the committed baselines in testdata/baselines/ and any metric
+# drift fails the build. Regenerate baselines after an intentional
+# behaviour change with: ./ci.sh -update-baselines
 set -eu
 cd "$(dirname "$0")"
+
+update=0
+if [ "${1:-}" = "-update-baselines" ]; then
+	update=1
+fi
 
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -14,4 +22,33 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+
+# Baseline gate: workload x policy smoke set on the small 4-core system.
+# One snapshot per pair; zero tolerance — the simulator is deterministic,
+# so any drift is a real behaviour change.
+baselines=testdata/baselines
+mkdir -p "$baselines"
+stats=$(mktemp -d)
+trap 'rm -rf "$stats"' EXIT
+go build -o "$stats/dynamo-stats" ./cmd/dynamo-stats
+
+for run in \
+	"histogram all-near" \
+	"histogram dynamo-reuse-pn" \
+	"tc unique-near"; do
+	set -- $run
+	wl=$1
+	policy=$2
+	name="$wl-$policy.json"
+	"$stats/dynamo-stats" snapshot -workload "$wl" -policy "$policy" \
+		-threads 4 -scale 0.1 -small -o "$stats/$name"
+	if [ "$update" = 1 ] || [ ! -f "$baselines/$name" ]; then
+		cp "$stats/$name" "$baselines/$name"
+		echo "ci: baseline updated: $baselines/$name"
+	else
+		echo "ci: diffing $name against baseline"
+		"$stats/dynamo-stats" diff "$baselines/$name" "$stats/$name"
+	fi
+done
+
 echo "ci: OK"

@@ -1,0 +1,155 @@
+// Command dynamo-stats canonicalises a run's statistics into a
+// deterministic snapshot, and diffs two snapshots under configurable
+// tolerances. The diff exits non-zero when any metric drifts, which makes
+// it a CI regression gate against committed baselines:
+//
+//	dynamo-stats snapshot -workload histogram -policy all-near -threads 4 \
+//	    -scale 0.1 -small -o baseline.json
+//	dynamo-stats diff baseline.json current.json -rtol 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"dynamo"
+	"dynamo/internal/regress"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "snapshot":
+		snapshot(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dynamo-stats snapshot -workload W [-policy P] [-threads N] [-seed S] [-scale X] [-input I] [-small] [-o FILE]
+  dynamo-stats diff BASELINE CURRENT [-rtol X] [-atol Y]`)
+	os.Exit(2)
+}
+
+// smallConfig mirrors the test suite's shrunken system so snapshot runs
+// stay fast enough for CI.
+func smallConfig() dynamo.Config {
+	cfg := dynamo.DefaultConfig()
+	cfg.Chi.Cores = 4
+	cfg.Chi.HNSlices = 4
+	cfg.Chi.Mesh.Width = 4
+	cfg.Chi.Mesh.Height = 4
+	cfg.Chi.L1Sets = 32
+	cfg.Chi.L2Sets = 128
+	cfg.Chi.LLCSets = 512
+	return cfg
+}
+
+func snapshot(args []string) {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	wl := fs.String("workload", "", "workload name")
+	policy := fs.String("policy", "all-near", "placement policy")
+	threads := fs.Int("threads", 4, "worker threads")
+	seed := fs.Int64("seed", 1, "workload seed")
+	scale := fs.Float64("scale", 1.0, "workload size multiplier")
+	input := fs.String("input", "", "workload input variant")
+	small := fs.Bool("small", false, "use the shrunken 4-core CI system")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *wl == "" {
+		fmt.Fprintln(os.Stderr, "dynamo-stats: -workload is required")
+		os.Exit(2)
+	}
+
+	cfg := dynamo.DefaultConfig()
+	if *small {
+		cfg = smallConfig()
+	}
+	bus := dynamo.NewObs(false)
+	res, err := dynamo.Run(dynamo.Options{
+		Workload: *wl,
+		Policy:   *policy,
+		Threads:  *threads,
+		Seed:     *seed,
+		Scale:    *scale,
+		Input:    *input,
+		Config:   &cfg,
+		Obs:      bus,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	snap := regress.FromResult(map[string]string{
+		"workload": *wl,
+		"policy":   *policy,
+		"threads":  strconv.Itoa(*threads),
+		"seed":     strconv.FormatInt(*seed, 10),
+		"scale":    strconv.FormatFloat(*scale, 'g', -1, 64),
+		"input":    *input,
+		"small":    strconv.FormatBool(*small),
+	}, res)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := snap.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rtol := fs.Float64("rtol", 0, "relative tolerance (0.02 = 2%)")
+	atol := fs.Float64("atol", 0, "absolute slack for near-zero metrics")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	baseline := readSnapshot(fs.Arg(0))
+	current := readSnapshot(fs.Arg(1))
+
+	drifts := regress.Diff(baseline, current, regress.Tolerance{Rel: *rtol, Abs: *atol})
+	if len(drifts) == 0 {
+		fmt.Printf("ok: %d metrics within tolerance (rtol=%g atol=%g)\n",
+			len(baseline.Metrics), *rtol, *atol)
+		return
+	}
+	fmt.Printf("REGRESSION: %d of %d metrics drifted (rtol=%g atol=%g)\n",
+		len(drifts), len(baseline.Metrics), *rtol, *atol)
+	for _, d := range drifts {
+		fmt.Printf("  %s\n", d)
+	}
+	os.Exit(1)
+}
+
+func readSnapshot(path string) *regress.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	s, err := regress.Read(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dynamo-stats: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return s
+}

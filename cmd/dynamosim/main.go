@@ -5,6 +5,8 @@
 //
 //	dynamosim -workload histogram -policy dynamo-reuse-pn [-threads 32]
 //	dynamosim -workload histogram -policy dynamo-reuse-pn -hist -timeline t.json
+//	dynamosim -workload histogram -hotlines 16
+//	dynamosim -workload histogram -interval 50000 -interval-csv intervals.csv
 //	dynamosim -workload histogram -json
 //	dynamosim -list
 package main
@@ -29,6 +31,11 @@ func main() {
 	detail := flag.Bool("detail", false, "print every raw counter")
 	prefetch := flag.Int("prefetch", 0, "L1D stride prefetch degree (0 = off)")
 	hist := flag.Bool("hist", false, "print per-class latency histograms and counters")
+	hotlines := flag.Int("hotlines", 0, "profile the N hottest AMO cache lines (0 = off)")
+	profileJSON := flag.String("profile-json", "", "write the contention profile as JSON to this file (implies -hotlines)")
+	interval := flag.Int64("interval", 0, "sample interval telemetry every N cycles (0 = off)")
+	intervalJSON := flag.String("interval-json", "", "write the interval series as JSON to this file")
+	intervalCSV := flag.String("interval-csv", "", "write the interval series as CSV to this file")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
 	jsonOut := flag.Bool("json", false, "emit the full run result as JSON instead of text")
 	list := flag.Bool("list", false, "list workloads and policies")
@@ -52,6 +59,10 @@ func main() {
 		for _, p := range dynamo.Policies() {
 			fmt.Printf("  %s\n", p)
 		}
+		fmt.Printf("probe classes:\n  %s\n", strings.Join(dynamo.ProbeClasses(), " "))
+		fmt.Printf("probe phases:\n  %s\n", strings.Join(dynamo.ProbePhases(), " "))
+		fmt.Printf("probe counters:\n  %s\n", strings.Join(dynamo.ProbeCounters(), " "))
+		fmt.Printf("probe spans:\n  %s\n", strings.Join(dynamo.ProbeSpans(), " "))
 		return
 	}
 	if *wl == "" {
@@ -61,9 +72,20 @@ func main() {
 
 	cfg := dynamo.DefaultConfig()
 	cfg.Chi.PrefetchDegree = *prefetch
+	if *profileJSON != "" && *hotlines == 0 {
+		*hotlines = 32
+	}
 	var bus *dynamo.ObsBus
-	if *hist || *timeline != "" || *jsonOut {
+	if *hist || *timeline != "" || *jsonOut || *hotlines > 0 || *interval > 0 {
 		bus = dynamo.NewObs(*timeline != "")
+	}
+	var prof *dynamo.Profiler
+	if *hotlines > 0 {
+		prof = dynamo.NewProfiler(*hotlines)
+	}
+	var rec *dynamo.IntervalRecorder
+	if *interval > 0 {
+		rec = dynamo.NewIntervalRecorder(*interval, 0)
 	}
 	res, err := dynamo.Run(dynamo.Options{
 		Workload: *wl,
@@ -74,10 +96,38 @@ func main() {
 		Input:    *input,
 		Config:   &cfg,
 		Obs:      bus,
+		Profile:  prof,
+		Interval: rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	writeFile := func(name string, write func(f *os.File) error) {
+		f, err := os.Create(name)
+		if err == nil {
+			if err = write(f); err == nil {
+				err = f.Close()
+			} else {
+				f.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *profileJSON != "" {
+		writeFile(*profileJSON, func(f *os.File) error {
+			return dynamo.ContentionReport(prof, bus).WriteJSON(f)
+		})
+	}
+	if *intervalJSON != "" && rec != nil {
+		writeFile(*intervalJSON, func(f *os.File) error { return rec.WriteJSON(f) })
+	}
+	if *intervalCSV != "" && rec != nil {
+		writeFile(*intervalCSV, func(f *os.File) error { return rec.WriteCSV(f) })
 	}
 
 	if *timeline != "" {
@@ -121,6 +171,17 @@ func main() {
 		100*res.Energy.Caches/res.Energy.Total(),
 		100*res.Energy.NoC/res.Energy.Total(),
 		100*res.Energy.Memory/res.Energy.Total())
+	if prof != nil {
+		fmt.Println("\ncontention profile (hottest AMO lines):")
+		fmt.Print(dynamo.ContentionReport(prof, bus).Table())
+	}
+	if rec != nil {
+		fmt.Printf("\ninterval telemetry: %d records of %d cycles", rec.Len(), *interval)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Printf(" (%d oldest dropped)", d)
+		}
+		fmt.Println()
+	}
 	if *hist {
 		fmt.Println("\nlatency histograms (cycles):")
 		fmt.Print(res.Obs.Table())

@@ -26,6 +26,8 @@ import (
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
 	"dynamo/internal/obs"
+	"dynamo/internal/obs/profile"
+	"dynamo/internal/sim"
 	"dynamo/internal/trace"
 	"dynamo/internal/workload"
 )
@@ -92,6 +94,63 @@ type ObsReport = obs.Report
 // histograms and counters are always collected.
 func NewObs(timeline bool) *ObsBus { return obs.New(obs.Options{Timeline: timeline}) }
 
+// Profiler is the per-cacheline contention profiler: a bounded top-K table
+// of the hottest AMO lines with near/far placement, snoop and HN-occupancy
+// detail, attributed to workload sites. Pass one via Options.Profile
+// (requires Options.Obs) and call Report or Table afterwards.
+type Profiler = profile.Profiler
+
+// NewProfiler creates a contention profiler tracking the k hottest lines
+// (0 selects the default of profile.DefaultTopK).
+func NewProfiler(k int) *Profiler { return profile.NewProfiler(k) }
+
+// IntervalRecorder collects interval telemetry: every period ticks it
+// snapshots instruction, latency, NoC and HBM counters into a bounded ring
+// of per-interval records. Pass one via Options.Interval and call Series
+// afterwards.
+type IntervalRecorder = profile.Recorder
+
+// NewIntervalRecorder creates an interval recorder sampling every period
+// ticks and keeping at most capacity records (0 selects
+// profile.DefaultIntervalCap).
+func NewIntervalRecorder(period int64, capacity int) *IntervalRecorder {
+	return profile.NewRecorder(sim.Tick(period), capacity)
+}
+
+// HotReport is the rendered contention profile: the top-K hottest AMO
+// cache lines with site attribution.
+type HotReport = profile.HotReport
+
+// ContentionReport renders the profiler's hot-line table, attributing
+// lines to the workload sites registered on the bus during the run.
+func ContentionReport(p *Profiler, bus *ObsBus) *HotReport {
+	return p.Report(bus.SiteOf)
+}
+
+// ProbeClasses lists the transaction classes the probe bus distinguishes.
+func ProbeClasses() []string {
+	var out []string
+	for _, c := range obs.AllClasses() {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// ProbePhases lists the transaction pipeline phases the probe bus times.
+func ProbePhases() []string {
+	var out []string
+	for _, p := range obs.AllPhases() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// ProbeCounters lists the free-form counter names the simulator publishes.
+func ProbeCounters() []string { return obs.KnownCounters() }
+
+// ProbeSpans lists the occupancy/stall span names the simulator publishes.
+func ProbeSpans() []string { return obs.KnownSpans() }
+
 // Options selects what to run.
 type Options struct {
 	// Workload is a Table III workload name (see Workloads).
@@ -118,6 +177,15 @@ type Options struct {
 	// run's digest lands in Result.Obs; call Obs.WriteTimeline afterwards
 	// for the Chrome trace-event export.
 	Obs *obs.Bus
+	// Profile, when non-nil, collects the per-cacheline contention profile.
+	// Requires Obs: the profiler attaches to the bus as its contention
+	// observer, and workload site annotations are registered on the bus so
+	// the report can attribute hot lines.
+	Profile *profile.Profiler
+	// Interval, when non-nil, collects interval telemetry during the run.
+	// Class-latency and counter deltas are only populated when Obs is also
+	// set; traffic counters (NoC, HBM, instructions) always are.
+	Interval *profile.Recorder
 }
 
 func (o Options) fill() (Options, Config, error) {
@@ -186,6 +254,16 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 		defer flush()
 	}
 	cfg.Obs = opts.Obs
+	cfg.Interval = opts.Interval
+	if opts.Profile != nil {
+		if opts.Obs == nil {
+			return nil, fmt.Errorf("dynamo: Options.Profile requires Options.Obs")
+		}
+		opts.Obs.AttachContention(opts.Profile)
+	}
+	for _, s := range inst.Sites {
+		opts.Obs.RegisterSite(s)
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		return nil, err

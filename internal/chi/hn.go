@@ -184,6 +184,7 @@ func (hn *HN) snoopAll(parent obs.TxnID, targets uint64, line memory.Line, inval
 		return
 	}
 	hn.sys.Obs.Phase(parent, hn.sys.Engine.Now(), obs.PhaseSnoop)
+	hn.sys.Obs.ProfileSnoop(line.Base(), n)
 	pending := n
 	anyDirty := false
 	var present uint64
@@ -201,6 +202,7 @@ func (hn *HN) snoopAll(parent obs.TxnID, targets uint64, line memory.Line, inval
 				if dirty {
 					flits = noc.DataFlits
 					hn.Stats.DirtyForwards++
+					hn.sys.Obs.ProfileSnoopForward(line.Base())
 				}
 				hn.sys.send(rn.node, hn.node, flits, func() {
 					hn.sys.Obs.EndTxn(sid, hn.sys.Engine.Now())
@@ -423,6 +425,8 @@ func (hn *HN) atomic(t *txn) {
 			start = hn.aluFree
 		}
 		hn.aluFree = start + hn.sys.Cfg.FarAMOOccupancy
+		// ALU queue wait plus occupancy: how long this far AMO held the HN.
+		hn.sys.Obs.ProfileHNOccupancy(t.line.Base(), hn.aluFree-ready)
 		if !req.NoReturn {
 			hn.sys.Obs.Phase(t.obsID, start, obs.PhaseALU)
 		}

@@ -274,6 +274,7 @@ func (rn *RN) decide(line memory.Line, st memory.State) Placement {
 // finishNearAMO applies an AMO locally on a unique line.
 func (rn *RN) finishNearAMO(req *Request, line memory.Line) {
 	rn.sys.Obs.Reclass(req.obs, obs.ClassNearAMO)
+	rn.sys.Obs.ProfileAMO(line.Base(), false)
 	old := rn.sys.Data.AMO(req.Op, req.Addr, req.Operand, req.Compare)
 	rn.setL1State(line, memory.UniqueDirty)
 	rn.sys.Policy.OnNearComplete(rn.id, line)
@@ -375,6 +376,7 @@ func (rn *RN) issueFarAMO(req *Request, line memory.Line) {
 	rn.Stats.AMOFar++
 	hn := rn.sys.HomeOf(line)
 	rn.sys.Obs.Reclass(req.obs, obs.ClassFarAMO)
+	rn.sys.Obs.ProfileAMO(line.Base(), true)
 	rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseNoCReq)
 	msg := &txn{
 		kind:      txnAtomic,

@@ -185,11 +185,20 @@ func (r *Reuse) lineLeft(core int, line memory.Line) {
 	e.tracking = false
 	if e.reuseBit {
 		r.obs.Count("pred.near.reused", 1)
+		if e.confidence == 0 {
+			// Crossing zero confidence changes the line's placement; the
+			// flip counter makes predictor churn visible in interval
+			// telemetry (warm-up, phase changes).
+			r.obs.Count("pred.flip", 1)
+		}
 		if int(e.confidence) < r.cfg.CounterMax {
 			e.confidence++
 		}
 	} else {
 		r.obs.Count("pred.near.no-reuse", 1)
+		if e.confidence == 1 {
+			r.obs.Count("pred.flip", 1)
+		}
 		if e.confidence > 0 {
 			e.confidence--
 		}

@@ -439,6 +439,9 @@ func (c *Core) posted() {
 		if c.stallName != "" {
 			now := c.engine.Now()
 			c.cfg.Obs.Span(obs.Track{Group: obs.TrackCore, ID: c.rn.ID()}, c.stallName, c.stallStart, now-c.stallStart)
+			// Cumulative stall cycles across cores: interval telemetry
+			// differences this to show where a phase loses throughput.
+			c.cfg.Obs.Count("cpu.stall-cycles", uint64(now-c.stallStart))
 			c.stallName = ""
 		}
 		f()

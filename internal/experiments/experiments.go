@@ -279,6 +279,7 @@ func All() []Experiment {
 		{"ablation", "Ablations: AMO buffer, atomic queue, HN pipeline, prefetcher", (*Suite).Ablations},
 		{"dse", "Section IV: static-policy design space (8 practical candidates)", (*Suite).DesignSpace},
 		{"latency", "Latency breakdown: per-class and per-phase transaction latency", (*Suite).LatencyBreakdown},
+		{"profile", "Contention profile: hottest AMO cache lines with site attribution", (*Suite).ContentionProfile},
 	}
 }
 

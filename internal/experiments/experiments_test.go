@@ -24,7 +24,7 @@ func TestOptionsFill(t *testing.T) {
 func TestAllExperimentsRegistered(t *testing.T) {
 	ids := []string{"fig1", "table1", "table2", "table3", "fig6", "fig7",
 		"fig8", "fig9", "energy", "fig10", "hwcost", "fig11", "table4", "ablation", "dse",
-		"latency"}
+		"latency", "profile"}
 	if len(All()) != len(ids) {
 		t.Fatalf("All() has %d experiments, want %d", len(All()), len(ids))
 	}

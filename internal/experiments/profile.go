@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynamo/internal/machine"
+	"dynamo/internal/obs"
+	"dynamo/internal/obs/profile"
+	"dynamo/internal/stats"
+	"dynamo/internal/workload"
+)
+
+// profiledRun executes one workload under one policy with the contention
+// profiler attached and returns the hot-line report. Like observedRun it
+// bypasses the suite cache: the profiler mutates per-run state.
+func (s *Suite) profiledRun(wl, policy string, k int) (*profile.HotReport, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Policy = policy
+	bus := obs.New(obs.Options{})
+	cfg.Obs = bus
+	prof := profile.NewProfiler(k)
+	bus.AttachContention(prof)
+	spec, err := workload.Get(wl)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: s.opts.Threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, site := range inst.Sites {
+		bus.RegisterSite(site)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	s.logf("  profiled %-12s %-16s %10d cycles", wl, policy, res.Cycles)
+	return prof.Report(bus.SiteOf), nil
+}
+
+// profileCases contrasts the paper's two contention archetypes: radiosity's
+// single hot queue lock (Section VI-B, where far AMOs win) and histogram's
+// scattered bucket updates, each under the baseline and the headline
+// predictor.
+var profileCases = []struct{ workload, policy string }{
+	{"radiosity", "all-near"},
+	{"radiosity", "dynamo-reuse-pn"},
+	{"histogram", "all-near"},
+	{"histogram", "dynamo-reuse-pn"},
+}
+
+// ContentionProfile renders the hottest AMO cache lines per workload and
+// policy, attributed to workload sites: which structures are contended, how
+// the policy places their AMOs, and what coherence traffic they attract.
+func (s *Suite) ContentionProfile() (*stats.Table, error) {
+	const topK = 8
+	t := &stats.Table{Header: []string{
+		"workload", "policy", "site", "amos", "near", "far", "snoops", "sharers", "fwd", "hn-ticks"}}
+	for _, c := range profileCases {
+		rep, err := s.profiledRun(c.workload, c.policy, topK)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range rep.Lines {
+			site := fmt.Sprintf("%#x", uint64(l.Line))
+			if l.Site != "" {
+				site = fmt.Sprintf("%s+%d", l.Site, l.Offset)
+			}
+			t.AddRow(c.workload, c.policy, site,
+				fmt.Sprint(l.AMOs), fmt.Sprint(l.Near), fmt.Sprint(l.Far),
+				fmt.Sprint(l.Snoops), stats.F(l.MeanSharers),
+				fmt.Sprint(l.Forwards), stats.F(l.MeanHNTicks))
+		}
+	}
+	return t, nil
+}

@@ -69,6 +69,9 @@ func New(cfg Config) (*Memory, error) {
 // disables publication.
 func (m *Memory) AttachObs(b *obs.Bus) { m.obs = b }
 
+// Channels returns the channel count.
+func (m *Memory) Channels() int { return m.cfg.Channels }
+
 // Channel returns the channel that serves the line.
 func (m *Memory) Channel(line memory.Line) int {
 	return int(uint64(line) & uint64(m.cfg.Channels-1))

@@ -12,8 +12,10 @@ import (
 	"dynamo/internal/cpu"
 	"dynamo/internal/energy"
 	"dynamo/internal/hbm"
+	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
+	"dynamo/internal/obs/profile"
 	"dynamo/internal/sim"
 	"dynamo/internal/stats"
 )
@@ -33,6 +35,12 @@ type Config struct {
 	// (latency histograms, optional timeline) from every component. The
 	// run's digest lands in Result.Obs.
 	Obs *obs.Bus
+	// Interval, when non-nil, receives a cumulative counter sample every
+	// Recorder period during the run plus one final sample at drain time,
+	// yielding the interval time-series (instructions, per-class latency,
+	// link utilisation, HBM bandwidth, AMT hit-rate). Class latency and
+	// counter deltas additionally require Obs.
+	Interval *profile.Recorder
 }
 
 // DefaultConfig reproduces Table II scaled to cycle-level first-order
@@ -197,6 +205,18 @@ func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
 	}
 	finished := 0
 	cores := make([]*cpu.Core, len(programs))
+	stopSampling := false
+	if rec := m.Cfg.Interval; rec != nil && rec.Period() > 0 {
+		var tick func()
+		tick = func() {
+			if stopSampling {
+				return
+			}
+			m.sample(rec, cores)
+			m.Sys.Engine.Schedule(rec.Period(), tick)
+		}
+		m.Sys.Engine.Schedule(rec.Period(), tick)
+	}
 	for i, p := range programs {
 		c, err := cpu.New(m.Cfg.CPU, m.Sys.Engine, m.Sys.RNs[i], p, func() { finished++ })
 		if err != nil {
@@ -216,6 +236,7 @@ func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
 	}
 	ok := m.Sys.Engine.RunUntil(func() bool { return finished == len(programs) }, budget)
 	stopAging = true
+	stopSampling = true
 	if !ok {
 		for _, c := range cores {
 			c.Abort()
@@ -227,7 +248,28 @@ func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
 		return nil, ErrTimeout
 	}
 	m.Sys.Engine.Run(0) // drain writebacks and in-flight background work
+	if rec := m.Cfg.Interval; rec != nil {
+		// Close the partial tail interval so the series covers the full run.
+		m.sample(rec, cores)
+	}
 	return m.collect(cores), nil
+}
+
+// sample feeds one cumulative counter reading to the interval recorder.
+func (m *Machine) sample(rec *profile.Recorder, cores []*cpu.Core) {
+	s := profile.Sample{
+		Links:     m.Sys.Mesh.Links(),
+		LineBytes: memory.LineSize,
+	}
+	for _, c := range cores {
+		if c != nil {
+			s.Instructions += c.Instructions
+		}
+	}
+	s.FlitHops = m.Sys.Mesh.Stats().FlitHops
+	mem := m.Sys.Mem.Stats()
+	s.HBMReads, s.HBMWrites = mem.Reads, mem.Writes
+	rec.Observe(m.Sys.Engine.Now(), s, m.Sys.Obs.Histograms())
 }
 
 // collect aggregates statistics into a Result.

@@ -86,6 +86,14 @@ func (m *Mesh) AttachObs(b *obs.Bus) { m.obs = b }
 // Nodes returns the number of mesh nodes.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
 
+// Links returns the number of unidirectional links in the mesh: interior
+// edges, counted once per direction. Interval telemetry normalises flit-hop
+// deltas by this to report link utilisation.
+func (m *Mesh) Links() int {
+	w, h := m.cfg.Width, m.cfg.Height
+	return 2 * ((w-1)*h + (h-1)*w)
+}
+
 // XY returns the coordinates of node id.
 func (m *Mesh) XY(id int) (x, y int) { return id % m.cfg.Width, id / m.cfg.Width }
 

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"sort"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+// Site labels a workload-level memory region — a lock, a shared array, a
+// reduction cell — so contention reports can attribute hot cache lines back
+// to the source-level structure instead of a bare address. Workloads attach
+// sites when they carve their address space; the facade registers them on
+// the bus before the run starts.
+type Site struct {
+	// Name is the workload-level symbol ("locks", "buckets", "queue-lock").
+	Name string `json:"name"`
+	// Base is the first byte of the region.
+	Base memory.Addr `json:"base"`
+	// Bytes is the region length.
+	Bytes int64 `json:"bytes"`
+}
+
+// contains reports whether addr falls inside the site.
+func (s Site) contains(addr memory.Addr) bool {
+	return addr >= s.Base && int64(addr-s.Base) < s.Bytes
+}
+
+// RegisterSite attaches one site annotation to the bus. Registration order
+// does not matter; lookups sort lazily. Overlapping sites resolve to the
+// one with the lowest base (then the first registered).
+func (b *Bus) RegisterSite(s Site) {
+	if b == nil || s.Bytes <= 0 {
+		return
+	}
+	b.sites = append(b.sites, s)
+	b.sitesSorted = false
+	b.siteMaxLen = 0
+}
+
+// Sites returns the registered site annotations sorted by base address.
+func (b *Bus) Sites() []Site {
+	if b == nil {
+		return nil
+	}
+	b.sortSites()
+	return b.sites
+}
+
+func (b *Bus) sortSites() {
+	if b.sitesSorted {
+		return
+	}
+	sort.SliceStable(b.sites, func(i, j int) bool { return b.sites[i].Base < b.sites[j].Base })
+	b.sitesSorted = true
+}
+
+// SiteOf resolves an address to its registered site, if any. It is intended
+// for report time, not the hot path: the first call after registration sorts
+// the site list, and each lookup is a binary search.
+func (b *Bus) SiteOf(addr memory.Addr) (Site, bool) {
+	if b == nil || len(b.sites) == 0 {
+		return Site{}, false
+	}
+	b.sortSites()
+	// First site with Base > addr; the candidate is the one before it.
+	i := sort.Search(len(b.sites), func(i int) bool { return b.sites[i].Base > addr })
+	for j := i - 1; j >= 0; j-- {
+		if b.sites[j].contains(addr) {
+			return b.sites[j], true
+		}
+		// Sites are disjoint in practice; stop once regions can no longer
+		// cover addr (list is sorted by base, so an earlier site reaching
+		// addr must be at least as long as this one's span to it).
+		if int64(addr-b.sites[j].Base) >= b.maxSiteBytes() {
+			break
+		}
+	}
+	return Site{}, false
+}
+
+// maxSiteBytes returns the longest registered region, bounding how far back
+// SiteOf must scan from the binary-search position.
+func (b *Bus) maxSiteBytes() int64 {
+	if b.siteMaxLen == 0 {
+		for _, s := range b.sites {
+			if s.Bytes > b.siteMaxLen {
+				b.siteMaxLen = s.Bytes
+			}
+		}
+	}
+	return b.siteMaxLen
+}
+
+// ContentionObserver receives per-cacheline contention events from the
+// coherence protocol. The profile package provides the standard bounded
+// top-K implementation; the interface lives here so chi publishes through
+// the bus without importing the collector.
+type ContentionObserver interface {
+	// ObserveAMO records one completed AMO on the line, placed near
+	// (executed in the requester's cache) or far (shipped to the HN ALU).
+	ObserveAMO(line memory.Addr, far bool)
+	// ObserveSnoop records one snoop fan-out for the line targeting the
+	// given number of sharers.
+	ObserveSnoop(line memory.Addr, sharers int)
+	// ObserveSnoopForward records one dirty-data forward from a snooped
+	// cache for the line.
+	ObserveSnoopForward(line memory.Addr)
+	// ObserveHNOccupancy records the HN ALU time one far AMO on the line
+	// held (queue wait plus occupancy).
+	ObserveHNOccupancy(line memory.Addr, dur sim.Tick)
+}
+
+// AttachContention installs the contention observer. A nil bus ignores the
+// call; passing nil detaches.
+func (b *Bus) AttachContention(o ContentionObserver) {
+	if b == nil {
+		return
+	}
+	b.contention = o
+}
+
+// ProfileAMO forwards a completed AMO placement to the contention observer.
+func (b *Bus) ProfileAMO(line memory.Addr, far bool) {
+	if b == nil || b.contention == nil {
+		return
+	}
+	b.contention.ObserveAMO(line, far)
+}
+
+// ProfileSnoop forwards one snoop fan-out to the contention observer.
+func (b *Bus) ProfileSnoop(line memory.Addr, sharers int) {
+	if b == nil || b.contention == nil {
+		return
+	}
+	b.contention.ObserveSnoop(line, sharers)
+}
+
+// ProfileSnoopForward forwards one dirty-data forward to the contention
+// observer.
+func (b *Bus) ProfileSnoopForward(line memory.Addr) {
+	if b == nil || b.contention == nil {
+		return
+	}
+	b.contention.ObserveSnoopForward(line)
+}
+
+// ProfileHNOccupancy forwards one far-AMO ALU occupancy interval to the
+// contention observer.
+func (b *Bus) ProfileHNOccupancy(line memory.Addr, dur sim.Tick) {
+	if b == nil || b.contention == nil {
+		return
+	}
+	b.contention.ObserveHNOccupancy(line, dur)
+}
+
+// Leak describes one transaction that was begun but never ended. A clean
+// run drains to zero leaks once the engine's event queue empties; leaks
+// indicate a protocol path that drops its obs bookkeeping.
+type Leak struct {
+	ID    TxnID
+	Class Class
+	Begin sim.Tick
+}
+
+// Leaks returns the transactions still open on the bus, sorted by ID. Nil
+// for a disabled bus or a fully drained run.
+func (b *Bus) Leaks() []Leak {
+	if b == nil {
+		return nil
+	}
+	var out []Leak
+	for id, t := range b.hist.live {
+		out = append(out, Leak{ID: id, Class: t.class, Begin: t.begin})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AllClasses lists every transaction class in declaration order.
+func AllClasses() []Class {
+	out := make([]Class, 0, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// AllPhases lists every transaction phase in declaration order.
+func AllPhases() []Phase {
+	out := make([]Phase, 0, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// KnownCounters lists the free-form counter names the simulator publishes,
+// sorted. Maintained by hand alongside the publish sites; discovery output
+// (dynamosim -list) and docs render it.
+func KnownCounters() []string {
+	return []string{
+		"cpu.stall-cycles",
+		"pred.amt.evict",
+		"pred.amt.hit",
+		"pred.amt.miss",
+		"pred.far",
+		"pred.flip",
+		"pred.metric.invalidation",
+		"pred.metric.near-complete",
+		"pred.near",
+		"pred.near.no-reuse",
+		"pred.near.reused",
+	}
+}
+
+// KnownSpans lists the occupancy/stall span names the simulator publishes,
+// sorted.
+func KnownSpans() []string {
+	return []string{
+		"burst",
+		"far-amo",
+		"stall:atomic-order",
+		"stall:atomic-queue",
+		"stall:fence",
+		"stall:load-order",
+		"stall:store-buffer",
+		"xfer",
+	}
+}

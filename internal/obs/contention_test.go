@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/sim"
+)
+
+func TestSiteRegistrationAndLookup(t *testing.T) {
+	b := New(Options{})
+	// Out-of-order registration; zero-length sites are ignored.
+	b.RegisterSite(Site{Name: "locks", Base: 0x2000, Bytes: 128})
+	b.RegisterSite(Site{Name: "buckets", Base: 0x1000, Bytes: 64})
+	b.RegisterSite(Site{Name: "empty", Base: 0x5000, Bytes: 0})
+
+	sites := b.Sites()
+	if len(sites) != 2 || sites[0].Name != "buckets" || sites[1].Name != "locks" {
+		t.Fatalf("sites = %+v", sites)
+	}
+	cases := []struct {
+		addr memory.Addr
+		want string
+		ok   bool
+	}{
+		{0x1000, "buckets", true},
+		{0x103f, "buckets", true}, // last byte of the region
+		{0x1040, "", false},       // one past the end
+		{0x0fff, "", false},       // before the first site
+		{0x2070, "locks", true},
+		{0x2080, "", false},
+		{0x5000, "", false}, // zero-length site never matches
+	}
+	for _, c := range cases {
+		s, ok := b.SiteOf(c.addr)
+		if ok != c.ok || (ok && s.Name != c.want) {
+			t.Errorf("SiteOf(%#x) = (%q, %v), want (%q, %v)", c.addr, s.Name, ok, c.want, c.ok)
+		}
+	}
+
+	// Registering after a lookup invalidates the cached sort and bound.
+	b.RegisterSite(Site{Name: "wide", Base: 0x100, Bytes: 0x10000})
+	if s, ok := b.SiteOf(0x9000); !ok || s.Name != "wide" {
+		t.Fatalf("SiteOf after late registration = (%q, %v)", s.Name, ok)
+	}
+}
+
+// countObserver records contention callbacks for assertion.
+type countObserver struct {
+	amos, far, snoops, sharers, fwds int
+	hn                               sim.Tick
+}
+
+func (o *countObserver) ObserveAMO(line memory.Addr, far bool) {
+	o.amos++
+	if far {
+		o.far++
+	}
+}
+func (o *countObserver) ObserveSnoop(line memory.Addr, sharers int) {
+	o.snoops++
+	o.sharers += sharers
+}
+func (o *countObserver) ObserveSnoopForward(line memory.Addr) { o.fwds++ }
+func (o *countObserver) ObserveHNOccupancy(line memory.Addr, dur sim.Tick) {
+	o.hn += dur
+}
+
+func TestContentionForwarding(t *testing.T) {
+	b := New(Options{})
+	// No observer attached: publishes are dropped.
+	b.ProfileAMO(0x40, true)
+
+	var o countObserver
+	b.AttachContention(&o)
+	b.ProfileAMO(0x40, true)
+	b.ProfileAMO(0x40, false)
+	b.ProfileSnoop(0x40, 3)
+	b.ProfileSnoopForward(0x40)
+	b.ProfileHNOccupancy(0x40, 9)
+	if o.amos != 2 || o.far != 1 || o.snoops != 1 || o.sharers != 3 || o.fwds != 1 || o.hn != 9 {
+		t.Fatalf("observer state: %+v", o)
+	}
+
+	// Detach: publishes are dropped again.
+	b.AttachContention(nil)
+	b.ProfileAMO(0x40, true)
+	if o.amos != 2 {
+		t.Fatalf("detached observer still receiving: %d amos", o.amos)
+	}
+}
+
+func TestNilBusContentionSafe(t *testing.T) {
+	var b *Bus
+	b.RegisterSite(Site{Name: "x", Base: 0, Bytes: 64})
+	if b.Sites() != nil {
+		t.Fatal("nil bus returned sites")
+	}
+	if _, ok := b.SiteOf(0); ok {
+		t.Fatal("nil bus resolved a site")
+	}
+	b.AttachContention(&countObserver{})
+	b.ProfileAMO(0, false)
+	b.ProfileSnoop(0, 1)
+	b.ProfileSnoopForward(0)
+	b.ProfileHNOccupancy(0, 1)
+	if b.Leaks() != nil {
+		t.Fatal("nil bus reported leaks")
+	}
+}
+
+func TestLeaks(t *testing.T) {
+	b := New(Options{})
+	id := b.BeginTxn(5, ClassAMO, 0x80, 1)
+	id2 := b.BeginTxn(7, ClassLoad, 0x100, 2)
+	b.EndTxn(id2, 20)
+
+	leaks := b.Leaks()
+	if len(leaks) != 1 || leaks[0].ID != id || leaks[0].Class != ClassAMO || leaks[0].Begin != 5 {
+		t.Fatalf("leaks = %+v", leaks)
+	}
+	b.EndTxn(id, 30)
+	if got := b.Leaks(); len(got) != 0 {
+		t.Fatalf("leaks after drain = %+v", got)
+	}
+}
+
+func TestDiscoveryLists(t *testing.T) {
+	if got := len(AllClasses()); got == 0 {
+		t.Fatal("no classes")
+	}
+	for _, c := range AllClasses() {
+		if c.String() == "" {
+			t.Fatalf("class %d has no name", c)
+		}
+	}
+	if got := len(AllPhases()); got == 0 {
+		t.Fatal("no phases")
+	}
+	for _, p := range AllPhases() {
+		if p.String() == "" {
+			t.Fatalf("phase %d has no name", p)
+		}
+	}
+	if !sort.StringsAreSorted(KnownCounters()) {
+		t.Fatalf("KnownCounters not sorted: %v", KnownCounters())
+	}
+	if !sort.StringsAreSorted(KnownSpans()) {
+		t.Fatalf("KnownSpans not sorted: %v", KnownSpans())
+	}
+}

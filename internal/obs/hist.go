@@ -94,6 +94,31 @@ func bucketBounds(i int) (lo, hi float64) {
 // Buckets returns a copy of the raw bucket counts.
 func (h *Hist) Buckets() [histBuckets]uint64 { return h.buckets }
 
+// Snapshot returns a value copy of the histogram, frozen at the current
+// counts. Interval telemetry snapshots class histograms to diff against the
+// next sample.
+func (h *Hist) Snapshot() Hist { return *h }
+
+// Merge folds another histogram into h, as if every sample of o had also
+// been observed by h. Merging interval snapshots reconstructs the full-run
+// histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // phaseRec marks entry into a phase; its duration runs to the next record
 // (or the transaction end).
 type phaseRec struct {
@@ -183,6 +208,20 @@ func (h *Histograms) ClassPhase(c Class, p Phase) *Hist { return &h.phases[c][p]
 
 // Counter returns the value of a free-form counter (0 if absent).
 func (h *Histograms) Counter(name string) uint64 { return h.counter[name] }
+
+// Counters returns every free-form counter sorted by name.
+func (h *Histograms) Counters() []stats.Counter {
+	names := make([]string, 0, len(h.counter))
+	for n := range h.counter {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]stats.Counter, 0, len(names))
+	for _, n := range names {
+		out = append(out, stats.Counter{Name: n, Value: h.counter[n]})
+	}
+	return out
+}
 
 // HistSummary is the JSON-friendly digest of one histogram.
 type HistSummary struct {

@@ -1,0 +1,89 @@
+package obs
+
+import "testing"
+
+func TestHistQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	var empty Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty q%g = %g", q, got)
+		}
+	}
+
+	// Single bucket: samples 16..31 all land in one log2 bucket; quantiles
+	// interpolate inside it, clamped to observed min/max and monotonic.
+	var one Hist
+	for v := uint64(16); v < 32; v++ {
+		one.Observe(v)
+	}
+	prev := 0.0
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := one.Quantile(q)
+		if got < 16 || got > 31 {
+			t.Fatalf("single-bucket q%g = %g outside [16,31]", q, got)
+		}
+		if got < prev {
+			t.Fatalf("quantiles not monotonic: q%g = %g < %g", q, got, prev)
+		}
+		prev = got
+	}
+
+	// Overflow bucket: values with the top bit set occupy the last bucket
+	// (index 64); quantiles stay within the observed range, no overflow.
+	var of Hist
+	of.Observe(1 << 63)
+	of.Observe(^uint64(0))
+	buckets := of.Buckets()
+	if buckets[64] != 2 {
+		t.Fatalf("top-bit samples in bucket 64: %d, want 2", buckets[64])
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := of.Quantile(q)
+		if got < float64(uint64(1)<<63) || got > float64(^uint64(0)) {
+			t.Fatalf("overflow-bucket q%g = %g outside observed range", q, got)
+		}
+	}
+}
+
+func TestHistSnapshotAndMerge(t *testing.T) {
+	var a, b, all Hist
+	for _, v := range []uint64{1, 2, 3, 100} {
+		a.Observe(v)
+		all.Observe(v)
+	}
+	snap := a.Snapshot()
+	for _, v := range []uint64{50, 7000} {
+		b.Observe(v)
+		all.Observe(v)
+	}
+
+	// Merging the second interval into the first reconstructs the full run.
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() ||
+		a.Min() != all.Min() || a.Max() != all.Max() || a.Buckets() != all.Buckets() {
+		t.Fatalf("merge mismatch: got count=%d sum=%d min=%d max=%d", a.Count(), a.Sum(), a.Min(), a.Max())
+	}
+
+	// The snapshot is a frozen value copy, untouched by the merge.
+	if snap.Count() != 4 || snap.Max() != 100 {
+		t.Fatalf("snapshot mutated: count=%d max=%d", snap.Count(), snap.Max())
+	}
+
+	// Merging an empty (or nil) histogram is a no-op.
+	before := a.Snapshot()
+	var emptier Hist
+	a.Merge(&emptier)
+	a.Merge(nil)
+	if a != before {
+		t.Fatal("merging empty histogram changed state")
+	}
+
+	// Merging into an empty histogram copies min/max rather than keeping
+	// the zero min.
+	var dst Hist
+	dst.Merge(&all)
+	if dst.Min() != 1 || dst.Max() != 7000 || dst.Count() != all.Count() {
+		t.Fatalf("merge into empty: min=%d max=%d count=%d", dst.Min(), dst.Max(), dst.Count())
+	}
+}

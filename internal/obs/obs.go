@@ -166,6 +166,14 @@ type Bus struct {
 	hist     *Histograms
 	timeline *Timeline
 	nextID   TxnID
+
+	// contention, when non-nil, receives per-cacheline AMO/snoop events
+	// (see ContentionObserver in contention.go).
+	contention ContentionObserver
+	// sites are workload-level region annotations for report attribution.
+	sites       []Site
+	sitesSorted bool
+	siteMaxLen  int64
 }
 
 // New builds an enabled bus.

@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dynamo/internal/obs"
+	"dynamo/internal/sim"
+	"dynamo/internal/stats"
+)
+
+// Sample is a point-in-time reading of cumulative machine counters. The
+// machine builds one per sampling period; the recorder differences
+// consecutive samples into interval records. Links and LineBytes carry the
+// topology constants needed to derive utilisation and bandwidth.
+type Sample struct {
+	// Instructions is the total committed instruction count across cores.
+	Instructions uint64
+	// FlitHops is the cumulative NoC link flit-cycle count.
+	FlitHops uint64
+	// HBMReads/HBMWrites are cumulative line transfers per direction.
+	HBMReads  uint64
+	HBMWrites uint64
+	// Links is the NoC's unidirectional link count (0 disables link
+	// utilisation).
+	Links int
+	// LineBytes is the bytes moved per HBM access (0 disables bandwidth).
+	LineBytes int
+}
+
+// ClassDelta is the per-transaction-class activity of one interval.
+type ClassDelta struct {
+	Name string `json:"name"`
+	// Count is the number of transactions of the class that *ended* in the
+	// interval; Cycles their summed end-to-end latency; Mean the average.
+	Count  uint64  `json:"count"`
+	Cycles uint64  `json:"cycles"`
+	Mean   float64 `json:"mean"`
+}
+
+// Record is one sampling interval [Start, End).
+type Record struct {
+	Start sim.Tick `json:"start"`
+	End   sim.Tick `json:"end"`
+	// Instructions committed in the interval.
+	Instructions uint64 `json:"instructions"`
+	// Classes holds one delta per transaction class, in class declaration
+	// order (always the full set, so CSV columns line up).
+	Classes []ClassDelta `json:"classes"`
+	// FlitHops is the link flit-cycles consumed in the interval;
+	// LinkUtilization normalises by links x interval length.
+	FlitHops        uint64  `json:"flit_hops"`
+	LinkUtilization float64 `json:"link_utilization"`
+	// HBM activity: line transfers per direction and bytes per cycle.
+	HBMReads     uint64  `json:"hbm_reads"`
+	HBMWrites    uint64  `json:"hbm_writes"`
+	HBMBandwidth float64 `json:"hbm_bandwidth"`
+	// AMT predictor activity (zero under static policies).
+	AMTHits    uint64  `json:"amt_hits"`
+	AMTMisses  uint64  `json:"amt_misses"`
+	AMTHitRate float64 `json:"amt_hit_rate"`
+	// Counters holds the interval delta of every free-form bus counter,
+	// sorted by name.
+	Counters []stats.Counter `json:"counters,omitempty"`
+}
+
+// DefaultIntervalCap bounds the ring when no capacity is given.
+const DefaultIntervalCap = 4096
+
+// Recorder turns periodic samples into a bounded ring of interval records.
+// When the ring is full the oldest record is dropped (and counted), so
+// memory stays fixed however long the run.
+type Recorder struct {
+	period  sim.Tick
+	cap     int
+	records []Record
+	dropped uint64
+	last    sim.Tick
+	prev    Sample
+
+	classes      []obs.Class
+	prevCount    []uint64
+	prevSum      []uint64
+	prevCounters map[string]uint64
+}
+
+// NewRecorder builds a recorder sampling every period ticks, keeping at
+// most capacity records (DefaultIntervalCap if <= 0).
+func NewRecorder(period sim.Tick, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultIntervalCap
+	}
+	classes := obs.AllClasses()
+	return &Recorder{
+		period:       period,
+		cap:          capacity,
+		classes:      classes,
+		prevCount:    make([]uint64, len(classes)),
+		prevSum:      make([]uint64, len(classes)),
+		prevCounters: make(map[string]uint64),
+	}
+}
+
+// Period returns the sampling period.
+func (r *Recorder) Period() sim.Tick { return r.period }
+
+// Len returns the number of retained records.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Dropped returns how many records were evicted from a full ring.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Observe closes the interval [last sample, now) from the cumulative
+// counter sample s and the bus histograms h (nil h skips class latency and
+// counter deltas). Zero-length intervals are ignored, so the machine can
+// unconditionally take a final sample at drain time.
+func (r *Recorder) Observe(now sim.Tick, s Sample, h *obs.Histograms) {
+	if now <= r.last {
+		return
+	}
+	rec := Record{
+		Start:        r.last,
+		End:          now,
+		Instructions: s.Instructions - r.prev.Instructions,
+		FlitHops:     s.FlitHops - r.prev.FlitHops,
+		HBMReads:     s.HBMReads - r.prev.HBMReads,
+		HBMWrites:    s.HBMWrites - r.prev.HBMWrites,
+	}
+	dur := float64(now - r.last)
+	if s.Links > 0 && dur > 0 {
+		rec.LinkUtilization = float64(rec.FlitHops) / (float64(s.Links) * dur)
+	}
+	if s.LineBytes > 0 && dur > 0 {
+		rec.HBMBandwidth = float64(rec.HBMReads+rec.HBMWrites) * float64(s.LineBytes) / dur
+	}
+	if h != nil {
+		for i, c := range r.classes {
+			ch := h.Class(c)
+			d := ClassDelta{
+				Name:   c.String(),
+				Count:  ch.Count() - r.prevCount[i],
+				Cycles: ch.Sum() - r.prevSum[i],
+			}
+			if d.Count > 0 {
+				d.Mean = float64(d.Cycles) / float64(d.Count)
+			}
+			rec.Classes = append(rec.Classes, d)
+			r.prevCount[i], r.prevSum[i] = ch.Count(), ch.Sum()
+		}
+		for _, c := range h.Counters() {
+			delta := c.Value - r.prevCounters[c.Name]
+			r.prevCounters[c.Name] = c.Value
+			rec.Counters = append(rec.Counters, stats.Counter{Name: c.Name, Value: delta})
+			switch c.Name {
+			case "pred.amt.hit":
+				rec.AMTHits = delta
+			case "pred.amt.miss":
+				rec.AMTMisses = delta
+			}
+		}
+		if n := rec.AMTHits + rec.AMTMisses; n > 0 {
+			rec.AMTHitRate = float64(rec.AMTHits) / float64(n)
+		}
+	}
+	if len(r.records) == r.cap {
+		r.records = append(r.records[:0], r.records[1:]...)
+		r.records = r.records[:r.cap-1]
+		r.dropped++
+	}
+	r.records = append(r.records, rec)
+	r.last = now
+	r.prev = s
+}
+
+// Series is the exportable time-series.
+type Series struct {
+	Period  sim.Tick `json:"period"`
+	Dropped uint64   `json:"dropped"`
+	Records []Record `json:"records"`
+}
+
+// Series returns the recorded intervals.
+func (r *Recorder) Series() *Series {
+	return &Series{Period: r.period, Dropped: r.dropped, Records: r.records}
+}
+
+// WriteJSON writes the series as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Series())
+}
+
+// WriteCSV writes the series as a fixed-column CSV time-series: interval
+// bounds, instructions, per-class (count, mean latency) pairs in class
+// declaration order, then NoC, HBM and AMT columns.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	header := "start,end,instructions"
+	for _, c := range r.classes {
+		header += fmt.Sprintf(",%s_count,%s_mean", c, c)
+	}
+	header += ",flit_hops,link_util,hbm_reads,hbm_writes,hbm_bw,amt_hits,amt_misses,amt_hit_rate\n"
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	for _, rec := range r.records {
+		row := fmt.Sprintf("%d,%d,%d", rec.Start, rec.End, rec.Instructions)
+		if len(rec.Classes) == len(r.classes) {
+			for _, d := range rec.Classes {
+				row += fmt.Sprintf(",%d,%s", d.Count, stats.F(d.Mean))
+			}
+		} else {
+			// Run without a bus: class columns are all zero.
+			for range r.classes {
+				row += ",0,0.000"
+			}
+		}
+		row += fmt.Sprintf(",%d,%s,%d,%d,%s,%d,%d,%s\n",
+			rec.FlitHops, stats.F(rec.LinkUtilization),
+			rec.HBMReads, rec.HBMWrites, stats.F(rec.HBMBandwidth),
+			rec.AMTHits, rec.AMTMisses, stats.F(rec.AMTHitRate))
+		if _, err := io.WriteString(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/obs"
+	"dynamo/internal/sim"
+)
+
+func line(i int) memory.Addr { return memory.Addr(0x10000 + i*memory.LineSize) }
+
+func TestProfilerBoundedAndHotSurvives(t *testing.T) {
+	p := NewProfiler(4)
+	for i := 0; i < 50; i++ {
+		p.ObserveAMO(line(100), i%3 == 0)
+	}
+	// A long cold stream of distinct lines churns the table but cannot
+	// evict the hot line: its count always exceeds the table minimum.
+	for i := 0; i < 40; i++ {
+		p.ObserveAMO(line(i), false)
+	}
+	rep := p.Report(nil)
+	if len(rep.Lines) > 4 {
+		t.Fatalf("table exceeded bound: %d lines", len(rep.Lines))
+	}
+	if rep.TotalAMOs != 90 {
+		t.Fatalf("TotalAMOs = %d, want 90", rep.TotalAMOs)
+	}
+	hot := rep.Lines[0]
+	if hot.Line != line(100) {
+		t.Fatalf("hottest line = %#x, want %#x", uint64(hot.Line), uint64(line(100)))
+	}
+	// Space-saving never undercounts; the lower bound AMOs-Err never
+	// exceeds the true count.
+	if hot.AMOs < 50 {
+		t.Fatalf("hot count %d undercounts true 50", hot.AMOs)
+	}
+	if hot.AMOs-hot.Err > 50 {
+		t.Fatalf("lower bound %d exceeds true 50", hot.AMOs-hot.Err)
+	}
+	if hot.Near+hot.Far != hot.AMOs {
+		t.Fatalf("near %d + far %d != amos %d", hot.Near, hot.Far, hot.AMOs)
+	}
+}
+
+func TestProfilerSnoopOnlyNotAdmitted(t *testing.T) {
+	p := NewProfiler(2)
+	p.ObserveSnoop(line(1), 3)
+	p.ObserveSnoopForward(line(1))
+	p.ObserveHNOccupancy(line(1), 7)
+	if rep := p.Report(nil); len(rep.Lines) != 0 || rep.TotalAMOs != 0 {
+		t.Fatalf("snoop-only traffic admitted a line: %+v", rep)
+	}
+
+	// Once a line is admitted by an AMO, snoop traffic accumulates on it.
+	p.ObserveAMO(line(1), true)
+	p.ObserveSnoop(line(1), 4)
+	p.ObserveSnoop(line(1), 2)
+	p.ObserveSnoopForward(line(1))
+	p.ObserveHNOccupancy(line(1), 10)
+	hl := p.Report(nil).Lines[0]
+	if hl.Snoops != 2 || hl.MeanSharers != 3 || hl.Forwards != 1 || hl.MeanHNTicks != 10 {
+		t.Fatalf("accumulation on tracked line: %+v", hl)
+	}
+}
+
+func TestProfilerDeterministic(t *testing.T) {
+	drive := func() *Profiler {
+		p := NewProfiler(3)
+		for i := 0; i < 200; i++ {
+			p.ObserveAMO(line(i%7), i%5 == 0)
+			if i%4 == 0 {
+				p.ObserveSnoop(line(i%7), 1+i%3)
+			}
+		}
+		return p
+	}
+	a, b := drive().Report(nil), drive().Report(nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical event sequences produced different reports:\n%+v\n%+v", a, b)
+	}
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("report JSON is not byte-identical")
+	}
+}
+
+func TestReportAttributionAndTable(t *testing.T) {
+	p := NewProfiler(4)
+	p.ObserveAMO(0x1040, false)
+	p.ObserveAMO(0x1040, false)
+	p.ObserveAMO(0x9000, true)
+	resolve := func(a memory.Addr) (obs.Site, bool) {
+		if a >= 0x1000 && a < 0x1100 {
+			return obs.Site{Name: "buckets", Base: 0x1000, Bytes: 0x100}, true
+		}
+		return obs.Site{}, false
+	}
+	rep := p.Report(resolve)
+	if rep.Lines[0].Site != "buckets" || rep.Lines[0].Offset != 0x40 {
+		t.Fatalf("attribution: %+v", rep.Lines[0])
+	}
+	if rep.Lines[1].Site != "" {
+		t.Fatalf("unattributed line got site %q", rep.Lines[1].Site)
+	}
+	tbl := rep.Table().String()
+	if !strings.Contains(tbl, "buckets+64") || !strings.Contains(tbl, "0x9000") {
+		t.Fatalf("table rendering:\n%s", tbl)
+	}
+}
+
+func TestRecorderDeltasAndRing(t *testing.T) {
+	b := obs.New(obs.Options{})
+	r := NewRecorder(100, 2)
+
+	id := b.BeginTxn(0, obs.ClassLoad, 0, 0)
+	b.EndTxn(id, 10)
+	b.Count("pred.amt.hit", 3)
+	b.Count("pred.amt.miss", 1)
+	r.Observe(100, Sample{Instructions: 1000, FlitHops: 400, HBMReads: 4, HBMWrites: 2, Links: 4, LineBytes: 64}, b.Histograms())
+
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	rec := r.Series().Records[0]
+	if rec.Start != 0 || rec.End != 100 || rec.Instructions != 1000 || rec.FlitHops != 400 {
+		t.Fatalf("record bounds: %+v", rec)
+	}
+	if rec.LinkUtilization != 1.0 {
+		t.Fatalf("link util = %g, want 1.0", rec.LinkUtilization)
+	}
+	if rec.HBMBandwidth != 3.84 {
+		t.Fatalf("hbm bw = %g, want 3.84", rec.HBMBandwidth)
+	}
+	if rec.AMTHits != 3 || rec.AMTMisses != 1 || rec.AMTHitRate != 0.75 {
+		t.Fatalf("amt: %+v", rec)
+	}
+	if len(rec.Classes) != len(obs.AllClasses()) {
+		t.Fatalf("classes = %d, want full set %d", len(rec.Classes), len(obs.AllClasses()))
+	}
+	var load ClassDelta
+	for _, d := range rec.Classes {
+		if d.Name == obs.ClassLoad.String() {
+			load = d
+		}
+	}
+	if load.Count != 1 || load.Cycles != 10 || load.Mean != 10 {
+		t.Fatalf("load delta: %+v", load)
+	}
+
+	// Second interval with no new bus activity: class deltas go to zero,
+	// cumulative sample fields difference correctly.
+	r.Observe(200, Sample{Instructions: 1500, FlitHops: 500, HBMReads: 4, HBMWrites: 2, Links: 4, LineBytes: 64}, b.Histograms())
+	rec2 := r.Series().Records[1]
+	if rec2.Instructions != 500 || rec2.FlitHops != 100 || rec2.HBMReads != 0 {
+		t.Fatalf("second record deltas: %+v", rec2)
+	}
+	for _, d := range rec2.Classes {
+		if d.Count != 0 {
+			t.Fatalf("stale class delta: %+v", d)
+		}
+	}
+
+	// Third interval overflows the cap-2 ring: oldest dropped.
+	r.Observe(300, Sample{Instructions: 1500, FlitHops: 500, Links: 4, LineBytes: 64}, b.Histograms())
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatalf("ring: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	if first := r.Series().Records[0]; first.Start != 100 {
+		t.Fatalf("oldest surviving record starts at %d, want 100", first.Start)
+	}
+
+	// Re-observing the same instant (the drain-time tail sample) is a no-op.
+	r.Observe(300, Sample{Instructions: 9999}, b.Histograms())
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatal("zero-length interval was recorded")
+	}
+}
+
+func TestRecorderExportDeterministic(t *testing.T) {
+	drive := func() *Recorder {
+		b := obs.New(obs.Options{})
+		r := NewRecorder(50, 0)
+		for i := 1; i <= 5; i++ {
+			id := b.BeginTxn(0, obs.ClassAMO, memory.Addr(i*64), 1)
+			b.EndTxn(id, sim.Tick(5*i))
+			b.Count("pred.near", uint64(i))
+			r.Observe(sim.Tick(50*i), Sample{Instructions: uint64(100 * i), Links: 2, LineBytes: 64}, b.Histograms())
+		}
+		return r
+	}
+	a, b := drive(), drive()
+	var ca, cb, ja, jb bytes.Buffer
+	if err := a.WriteCSV(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Fatal("CSV export is not byte-identical")
+	}
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("JSON export is not byte-identical")
+	}
+	if !strings.HasPrefix(ca.String(), "start,end,instructions,") {
+		t.Fatalf("CSV header: %q", strings.SplitN(ca.String(), "\n", 2)[0])
+	}
+	if lines := strings.Count(ca.String(), "\n"); lines != 6 {
+		t.Fatalf("CSV rows = %d, want header + 5", lines)
+	}
+}

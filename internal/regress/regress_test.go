@@ -1,0 +1,96 @@
+package regress
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func snap(metrics map[string]float64) *Snapshot {
+	return &Snapshot{Meta: map[string]string{"workload": "x", "policy": "p"}, Metrics: metrics}
+}
+
+func TestDiffSelfIsEmpty(t *testing.T) {
+	a := snap(map[string]float64{"cycles": 100, "amos": 10, "zero": 0})
+	if d := Diff(a, a, Tolerance{}); len(d) != 0 {
+		t.Fatalf("self diff = %+v", d)
+	}
+}
+
+func TestDiffTolerances(t *testing.T) {
+	a := snap(map[string]float64{"cycles": 100, "amos": 10})
+	b := snap(map[string]float64{"cycles": 103, "amos": 10})
+
+	// 3% drift passes a 5% tolerance, fails a 1% tolerance.
+	if d := Diff(a, b, Tolerance{Rel: 0.05}); len(d) != 0 {
+		t.Fatalf("within tolerance yet drifted: %+v", d)
+	}
+	d := Diff(a, b, Tolerance{Rel: 0.01})
+	if len(d) != 1 || d[0].Key != "cycles" || d[0].Baseline != 100 || d[0].Current != 103 {
+		t.Fatalf("drift = %+v", d)
+	}
+	if d[0].RelErr < 0.029 || d[0].RelErr > 0.03 {
+		t.Fatalf("rel err = %g", d[0].RelErr)
+	}
+
+	// Absolute slack excuses near-zero metrics that relative error cannot.
+	za := snap(map[string]float64{"q": 0})
+	zb := snap(map[string]float64{"q": 1})
+	if d := Diff(za, zb, Tolerance{Rel: 0.5, Abs: 2}); len(d) != 0 {
+		t.Fatalf("abs slack not applied: %+v", d)
+	}
+	if d := Diff(za, zb, Tolerance{Rel: 0.5, Abs: 0.5}); len(d) != 1 {
+		t.Fatalf("0 -> 1 must drift: %+v", d)
+	}
+
+	// Per-metric override wins over the global relative tolerance.
+	over := Tolerance{Rel: 0.01, PerMetric: map[string]float64{"cycles": 0.1}}
+	if d := Diff(a, b, over); len(d) != 0 {
+		t.Fatalf("per-metric override ignored: %+v", d)
+	}
+}
+
+func TestDiffMissingKeysAndMeta(t *testing.T) {
+	a := snap(map[string]float64{"cycles": 100, "amos": 10})
+	b := snap(map[string]float64{"cycles": 100})
+	d := Diff(a, b, Tolerance{Rel: 10}) // huge tolerance cannot excuse a vanished metric
+	if len(d) != 1 || d[0].Key != "amos" || d[0].RelErr != 1 || d[0].Meta == "" {
+		t.Fatalf("missing metric drift = %+v", d)
+	}
+
+	c := snap(map[string]float64{"cycles": 100, "amos": 10})
+	c.Meta["workload"] = "y"
+	c.Meta["extra"] = "1"
+	d = Diff(a, c, Tolerance{})
+	if len(d) != 2 {
+		t.Fatalf("meta drifts = %+v", d)
+	}
+	// Sorted by key: "extra" (only in current) then "workload" (mismatch).
+	if d[0].Key != "extra" || d[1].Key != "workload" || d[1].Meta == "" {
+		t.Fatalf("meta drifts = %+v", d)
+	}
+}
+
+func TestSnapshotRoundTripDeterministic(t *testing.T) {
+	s := snap(map[string]float64{"b": 2, "a": 1, "c.x": 3.5})
+	var w1, w2 bytes.Buffer
+	if err := s.WriteJSON(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("snapshot JSON not byte-identical across writes")
+	}
+	got, err := Read(&w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if d := Diff(s, got, Tolerance{}); len(d) != 0 {
+		t.Fatalf("round-trip diff = %+v", d)
+	}
+}

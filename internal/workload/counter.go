@@ -16,8 +16,8 @@ func Counter(threads, ops int, noReturn bool, gap int) (*Instance, error) {
 		return nil, fmt.Errorf("workload: counter with %d threads x %d ops", threads, ops)
 	}
 	alloc := NewAlloc()
-	counter := alloc.Lines(1)
-	inst := &Instance{AMOFootprintBytes: memory.LineSize}
+	counter := alloc.NamedLines("counter", 1)
+	inst := &Instance{AMOFootprintBytes: memory.LineSize, Sites: alloc.Sites()}
 	for i := 0; i < threads; i++ {
 		inst.Programs = append(inst.Programs, func(t *cpu.Thread) {
 			for k := 0; k < ops; k++ {

@@ -25,10 +25,10 @@ type simGraph struct {
 
 func layoutGraph(a *Alloc, g *graph.Graph) *simGraph {
 	sg := &simGraph{g: g}
-	sg.offsets = a.Words(g.N + 1)
-	sg.edges = a.Words(g.M())
+	sg.offsets = a.NamedWords("csr-offsets", g.N+1)
+	sg.edges = a.NamedWords("csr-edges", g.M())
 	if g.Weights != nil {
-		sg.weights = a.Words(g.M())
+		sg.weights = a.NamedWords("csr-weights", g.M())
 	}
 	return sg
 }
@@ -65,12 +65,12 @@ func buildBFS(p Params) (*Instance, error) {
 	g := graph.Grid(p.scaled(44), 30, p.Seed)
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	dist := alloc.Words(g.N)
-	bufs := [2]memory.Addr{alloc.Words(g.N), alloc.Words(g.N)}
-	sizes := [2]memory.Addr{alloc.Lines(1), alloc.Lines(1)}
+	dist := alloc.NamedWords("dist", g.N)
+	bufs := [2]memory.Addr{alloc.NamedWords("frontier-a", g.N), alloc.NamedWords("frontier-b", g.N)}
+	sizes := [2]memory.Addr{alloc.NamedLines("frontier-size-a", 1), alloc.NamedLines("frontier-size-b", 1)}
 	bar := NewBarrier(alloc, p.Threads)
 	const src = 0
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 8}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 8, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -167,13 +167,13 @@ func buildSPFA(p Params, g *graph.Graph, wt func(u, e int) uint64,
 	useCAS bool, perEdge int, name string) (*Instance, error) {
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	dist := alloc.Words(g.N)
-	inq := alloc.Words(g.N)
-	bufs := [2]memory.Addr{alloc.Words(g.N), alloc.Words(g.N)}
-	sizes := [2]memory.Addr{alloc.Lines(1), alloc.Lines(1)}
+	dist := alloc.NamedWords("dist", g.N)
+	inq := alloc.NamedWords("inq", g.N)
+	bufs := [2]memory.Addr{alloc.NamedWords("frontier-a", g.N), alloc.NamedWords("frontier-b", g.N)}
+	sizes := [2]memory.Addr{alloc.NamedLines("frontier-size-a", 1), alloc.NamedLines("frontier-size-b", 1)}
 	bar := NewBarrier(alloc, p.Threads)
 	const src = 0
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -297,11 +297,11 @@ func buildCC(p Params) (*Instance, error) {
 	g := graph.Kronecker(10, p.scaled(4), p.Seed+3)
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	label := alloc.Words(g.N)
-	bufs := [2]memory.Addr{alloc.Words(g.M() + g.N), alloc.Words(g.M() + g.N)}
-	sizes := [2]memory.Addr{alloc.Lines(1), alloc.Lines(1)}
+	label := alloc.NamedWords("label", g.N)
+	bufs := [2]memory.Addr{alloc.NamedWords("frontier-a", g.M()+g.N), alloc.NamedWords("frontier-b", g.M()+g.N)}
+	sizes := [2]memory.Addr{alloc.NamedLines("frontier-size-a", 1), alloc.NamedLines("frontier-size-b", 1)}
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 8}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 8, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -373,10 +373,10 @@ func buildPageRank(p Params) (*Instance, error) {
 	const unit = uint64(1 << 20)
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	rank := alloc.Words(g.N)
-	next := alloc.Words(g.N)
+	rank := alloc.NamedWords("rank", g.N)
+	next := alloc.NamedWords("next", g.N)
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -450,12 +450,12 @@ func buildKCore(p Params) (*Instance, error) {
 	const k = 4
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	state := alloc.Words(2 * g.N) // interleaved: [deg0, alive0, deg1, ...]
+	state := alloc.NamedWords("node-state", 2*g.N) // interleaved: [deg0, alive0, deg1, ...]
 	deg := func(v int) memory.Addr { return word(state, 2*v) }
 	alive := func(v int) memory.Addr { return word(state, 2*v+1) }
-	flag := roundFlag{alloc.Lines(1)}
+	flag := roundFlag{alloc.NamedLines("round-flag", 1)}
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -523,7 +523,7 @@ func buildGMetis(p Params) (*Instance, error) {
 	const chunkSize = 16
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	match := [phases]memory.Addr{alloc.Lines(g.N), alloc.Lines(g.N)}
+	match := [phases]memory.Addr{alloc.NamedLines("match-a", g.N), alloc.NamedLines("match-b", g.N)}
 	// Real GMETIS runs over a renumbered multi-megabyte match array where
 	// two nodes' match words essentially never share a cache line; one
 	// padded slot per node plus a seeded permutation reproduces that
@@ -532,11 +532,11 @@ func buildGMetis(p Params) (*Instance, error) {
 	slot := func(ph int, v int) memory.Addr {
 		return match[ph] + memory.Addr(perm[v])*memory.LineSize
 	}
-	dispenser := alloc.Lines(1)
-	statsLock := NewSpinLock(alloc)
-	statsCell := alloc.Lines(1)
+	dispenser := alloc.NamedLines("dispenser", 1)
+	statsLock := NewNamedSpinLock(alloc, "stats-lock")
+	statsCell := alloc.NamedLines("stats-cell", 1)
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * memory.LineSize * phases}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * memory.LineSize * phases, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) { sg.setup(data) }
 	for i := 0; i < p.Threads; i++ {
 		tid := i
@@ -634,10 +634,10 @@ func buildCluster(p Params) (*Instance, error) {
 	n := p.scaled(6000)
 	const clusters = 256
 	alloc := NewAlloc()
-	features := alloc.Words(n)
-	sums := alloc.Lines(clusters)   // padded: one accumulator line each
-	counts := alloc.Lines(clusters) // padded
-	inst := &Instance{AMOFootprintBytes: int64(clusters) * 2 * memory.LineSize}
+	features := alloc.NamedWords("features", n)
+	sums := alloc.NamedLines("cluster-sums", clusters)     // padded: one accumulator line each
+	counts := alloc.NamedLines("cluster-counts", clusters) // padded
+	inst := &Instance{AMOFootprintBytes: int64(clusters) * 2 * memory.LineSize, Sites: alloc.Sites()}
 	rng := rand.New(rand.NewSource(p.Seed + 7))
 	feat := make([]uint64, n)
 	for i := range feat {

@@ -15,14 +15,14 @@ func buildBC(p Params) (*Instance, error) {
 	g := graph.Kronecker(10, p.scaled(4), p.Seed+8)
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	dist := alloc.Words(g.N)
-	sigma := alloc.Words(g.N) // shortest-path counts
-	bufs := [2]memory.Addr{alloc.Words(g.N), alloc.Words(g.N)}
-	sizes := [2]memory.Addr{alloc.Lines(1), alloc.Lines(1)}
-	centrality := alloc.Words(g.N)
+	dist := alloc.NamedWords("dist", g.N)
+	sigma := alloc.NamedWords("sigma", g.N) // shortest-path counts
+	bufs := [2]memory.Addr{alloc.NamedWords("frontier-a", g.N), alloc.NamedWords("frontier-b", g.N)}
+	sizes := [2]memory.Addr{alloc.NamedLines("frontier-size-a", 1), alloc.NamedLines("frontier-size-b", 1)}
+	centrality := alloc.NamedWords("centrality", g.N)
 	bar := NewBarrier(alloc, p.Threads)
 	const src = 0
-	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16}
+	inst := &Instance{AMOFootprintBytes: int64(g.N) * 16, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) {
 		sg.setup(data)
 		for v := 0; v < g.N; v++ {
@@ -141,8 +141,8 @@ func buildTC(p Params) (*Instance, error) {
 	g := graph.Kronecker(8, p.scaled(6), p.Seed+9)
 	alloc := NewAlloc()
 	sg := layoutGraph(alloc, g)
-	total := alloc.Lines(1)
-	inst := &Instance{AMOFootprintBytes: memory.LineSize}
+	total := alloc.NamedLines("total", 1)
+	inst := &Instance{AMOFootprintBytes: memory.LineSize, Sites: alloc.Sites()}
 	inst.Setup = func(data *memory.Store) { sg.setup(data) }
 	for i := 0; i < p.Threads; i++ {
 		tid := i

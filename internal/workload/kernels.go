@@ -17,10 +17,10 @@ func buildFluidanimate(p Params) (*Instance, error) {
 	particles := p.scaled(2600)
 	const iters = 2
 	alloc := NewAlloc()
-	locks := NewMutexes(alloc, cells)
-	cellMass := alloc.Lines(cells) // one accumulator line per cell
+	locks := NewNamedMutexes(alloc, "cell-locks", cells)
+	cellMass := alloc.NamedLines("cell-mass", cells) // one accumulator line per cell
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(cells) * 2 * memory.LineSize}
+	inst := &Instance{AMOFootprintBytes: int64(cells) * 2 * memory.LineSize, Sites: alloc.Sites()}
 	rng := rand.New(rand.NewSource(p.Seed + 10))
 	// Particles are spatially sorted, so consecutive particles share cells.
 	cellOf := make([]int, particles)
@@ -116,9 +116,9 @@ func buildHistogram(p Params) (*Instance, error) {
 	const pxPerWord = 4
 	words := (pixels + pxPerWord - 1) / pxPerWord
 	alloc := NewAlloc()
-	image := alloc.Words(words)
-	buckets := alloc.Words(shape.buckets)
-	inst := &Instance{AMOFootprintBytes: int64(shape.buckets) * 8}
+	image := alloc.NamedWords("image", words)
+	buckets := alloc.NamedWords("buckets", shape.buckets)
+	inst := &Instance{AMOFootprintBytes: int64(shape.buckets) * 8, Sites: alloc.Sites()}
 	rng := rand.New(rand.NewSource(p.Seed + 11))
 	// Pixel values. Wide-histogram inputs (IMG/NASA) mix a hot color set
 	// with a uniform cold tail. BMP24 models scanline color runs: nearby
@@ -195,12 +195,12 @@ func buildRadixSort(p Params) (*Instance, error) {
 	n := p.scaled(12_000)
 	const radix = 256
 	alloc := NewAlloc()
-	src := alloc.Words(n)
-	dst := alloc.Words(n)
-	counts := alloc.Words(radix)
-	ptrs := alloc.Words(radix)
+	src := alloc.NamedWords("src", n)
+	dst := alloc.NamedWords("dst", n)
+	counts := alloc.NamedWords("counts", radix)
+	ptrs := alloc.NamedWords("ptrs", radix)
 	bar := NewBarrier(alloc, p.Threads)
-	inst := &Instance{AMOFootprintBytes: int64(radix)*16 + int64(n)*8}
+	inst := &Instance{AMOFootprintBytes: int64(radix)*16 + int64(n)*8, Sites: alloc.Sites()}
 	rng := rand.New(rand.NewSource(p.Seed + 12))
 	keys := make([]uint64, n)
 	for i := range keys {
@@ -293,11 +293,11 @@ func buildSPMV(p Params) (*Instance, error) {
 	cols := p.scaled(shape.cols)
 	nnz := cols * shape.nnzPerCol
 	alloc := NewAlloc()
-	x := alloc.Words(cols)
+	x := alloc.NamedWords("x", cols)
 	// Each matrix entry packs (row << 8 | value) into one word.
-	entries := alloc.Words(nnz)
-	y := alloc.Words(shape.rows)
-	inst := &Instance{AMOFootprintBytes: int64(shape.rows) * 8}
+	entries := alloc.NamedWords("entries", nnz)
+	y := alloc.NamedWords("y", shape.rows)
+	inst := &Instance{AMOFootprintBytes: int64(shape.rows) * 8, Sites: alloc.Sites()}
 	rng := rand.New(rand.NewSource(p.Seed + 13))
 	rowOf := make([]int, nnz)
 	valOf := make([]uint64, nnz)

@@ -29,15 +29,15 @@ type splashShape struct {
 // or broken mutual exclusion fails the run.
 func buildSplash(shape splashShape, p Params) (*Instance, error) {
 	alloc := NewAlloc()
-	locks := NewMutexes(alloc, shape.locks)
+	locks := NewNamedMutexes(alloc, "cell-locks", shape.locks)
 	// One data line per lock; critical sections update words within it.
-	dataBase := alloc.Lines(shape.locks)
+	dataBase := alloc.NamedLines("cells", shape.locks)
 	cell := func(lock, w int) memory.Addr {
 		return dataBase + memory.Addr(lock)*memory.LineSize + memory.Addr(w)*8
 	}
 	var accums memory.Addr
 	if shape.casAccums > 0 {
-		accums = alloc.Words(shape.casAccums)
+		accums = alloc.NamedWords("cas-accums", shape.casAccums)
 	}
 	privBase := make([]memory.Addr, p.Threads)
 	for i := range privBase {
@@ -45,6 +45,7 @@ func buildSplash(shape splashShape, p Params) (*Instance, error) {
 	}
 	inst := &Instance{
 		AMOFootprintBytes: int64(shape.locks)*memory.LineSize + int64(shape.casAccums)*8,
+		Sites:             alloc.Sites(),
 	}
 	iters := p.scaled(shape.iters)
 	for i := 0; i < p.Threads; i++ {
@@ -119,14 +120,15 @@ func buildSplash(shape splashShape, p Params) (*Instance, error) {
 // far AMOs win.
 func buildRadiosity(p Params) (*Instance, error) {
 	alloc := NewAlloc()
-	queueLock := NewMutex(alloc)
-	head := alloc.Lines(1)                 // queue head index
-	processed := alloc.Lines(1)            // completed-task count
-	results := alloc.Lines(p.scaled(2600)) // per-task result cells (163 KB-class footprint)
+	queueLock := NewNamedMutex(alloc, "queue-lock")
+	head := alloc.NamedLines("queue-head", 1)              // queue head index
+	processed := alloc.NamedLines("processed", 1)          // completed-task count
+	results := alloc.NamedLines("results", p.scaled(2600)) // per-task result cells (163 KB-class footprint)
 	nResults := p.scaled(2600)
 	totalTasks := p.Threads * p.scaled(40)
 	inst := &Instance{
 		AMOFootprintBytes: int64(nResults)*memory.LineSize + 2*memory.LineSize,
+		Sites:             alloc.Sites(),
 	}
 	for i := 0; i < p.Threads; i++ {
 		inst.Programs = append(inst.Programs, func(t *cpu.Thread) {

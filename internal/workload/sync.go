@@ -23,11 +23,21 @@ const (
 )
 
 // NewMutex allocates a mutex on its own cache line.
-func NewMutex(a *Alloc) Mutex { return Mutex{base: a.Lines(1)} }
+func NewMutex(a *Alloc) Mutex { return NewNamedMutex(a, "mutex") }
+
+// NewNamedMutex allocates a mutex tagged with a site name for contention
+// profiles.
+func NewNamedMutex(a *Alloc, name string) Mutex {
+	return Mutex{base: a.NamedLines(name, 1)}
+}
 
 // NewMutexes allocates n mutexes on consecutive lines.
-func NewMutexes(a *Alloc, n int) []Mutex {
-	base := a.Lines(n)
+func NewMutexes(a *Alloc, n int) []Mutex { return NewNamedMutexes(a, "mutexes", n) }
+
+// NewNamedMutexes allocates n mutexes on consecutive lines, tagging the
+// whole array as one named site.
+func NewNamedMutexes(a *Alloc, name string, n int) []Mutex {
+	base := a.NamedLines(name, n)
 	ms := make([]Mutex, n)
 	for i := range ms {
 		ms[i] = Mutex{base: base + memory.Addr(i)*memory.LineSize}
@@ -67,11 +77,21 @@ type SpinLock struct {
 }
 
 // NewSpinLock allocates a spinlock on its own line.
-func NewSpinLock(a *Alloc) SpinLock { return SpinLock{addr: a.Lines(1)} }
+func NewSpinLock(a *Alloc) SpinLock { return NewNamedSpinLock(a, "spinlock") }
+
+// NewNamedSpinLock allocates a spinlock tagged with a site name.
+func NewNamedSpinLock(a *Alloc, name string) SpinLock {
+	return SpinLock{addr: a.NamedLines(name, 1)}
+}
 
 // NewSpinLocks allocates n spinlocks on consecutive lines.
 func NewSpinLocks(a *Alloc, n int) []SpinLock {
-	base := a.Lines(n)
+	return NewNamedSpinLocks(a, "spinlocks", n)
+}
+
+// NewNamedSpinLocks allocates n spinlocks, tagging the array as one site.
+func NewNamedSpinLocks(a *Alloc, name string, n int) []SpinLock {
+	base := a.NamedLines(name, n)
 	ls := make([]SpinLock, n)
 	for i := range ls {
 		ls[i] = SpinLock{addr: base + memory.Addr(i)*memory.LineSize}
@@ -107,7 +127,11 @@ type Barrier struct {
 // word live on separate lines to avoid false sharing between the adder and
 // the spinners.
 func NewBarrier(a *Alloc, n int) *Barrier {
-	return &Barrier{count: a.Lines(1), sense: a.Lines(1), n: uint64(n)}
+	return &Barrier{
+		count: a.NamedLines("barrier.count", 1),
+		sense: a.NamedLines("barrier.sense", 1),
+		n:     uint64(n),
+	}
 }
 
 // Wait blocks thread t until all n threads arrive. sense is the thread's
@@ -137,13 +161,16 @@ type FarMutex struct {
 
 // NewFarMutex allocates a far-friendly mutex (two cache lines).
 func NewFarMutex(a *Alloc) FarMutex {
-	return FarMutex{lock: a.Lines(1), meta: a.Lines(1)}
+	return FarMutex{
+		lock: a.NamedLines("far-mutex.lock", 1),
+		meta: a.NamedLines("far-mutex.meta", 1),
+	}
 }
 
 // NewFarMutexes allocates n far-friendly mutexes.
 func NewFarMutexes(a *Alloc, n int) []FarMutex {
-	locks := a.Lines(n)
-	metas := a.Lines(n)
+	locks := a.NamedLines("far-mutex.locks", n)
+	metas := a.NamedLines("far-mutex.metas", n)
 	ms := make([]FarMutex, n)
 	for i := range ms {
 		ms[i] = FarMutex{

@@ -19,6 +19,7 @@ import (
 
 	"dynamo/internal/cpu"
 	"dynamo/internal/memory"
+	"dynamo/internal/obs"
 )
 
 // Class is the APKI intensity set of Fig. 6.
@@ -97,6 +98,11 @@ type Instance struct {
 	Validate func(data *memory.Store) error
 	// AMOFootprintBytes is the size of AMO-touched data (Table III).
 	AMOFootprintBytes int64
+	// Sites annotates the workload's memory regions (locks, shared arrays)
+	// for contention-profile attribution; the facade registers them on the
+	// run's observability bus. Populated from the instance allocator's
+	// tagged reservations.
+	Sites []obs.Site
 }
 
 // Spec describes one registered workload.
@@ -198,8 +204,11 @@ func buildChecked(s *Spec, p Params, fn func(Params) (*Instance, error)) (*Insta
 
 // Alloc is a bump allocator for the simulated address space. Each instance
 // gets its own; addresses start above 1 MiB to stay clear of the zero page.
+// Named reservations double as obs.Site annotations so contention profiles
+// can attribute hot cache lines back to workload structures.
 type Alloc struct {
-	next memory.Addr
+	next  memory.Addr
+	sites []obs.Site
 }
 
 // NewAlloc returns a fresh allocator.
@@ -219,6 +228,30 @@ func (a *Alloc) Lines(n int) memory.Addr {
 	a.next += memory.Addr(n) * memory.LineSize
 	return base
 }
+
+// Tag records [base, base+bytes) as the named site for profile attribution.
+func (a *Alloc) Tag(name string, base memory.Addr, bytes int64) {
+	if bytes > 0 {
+		a.sites = append(a.sites, obs.Site{Name: name, Base: base, Bytes: bytes})
+	}
+}
+
+// NamedWords reserves n words and tags the region.
+func (a *Alloc) NamedWords(name string, n int) memory.Addr {
+	base := a.Words(n)
+	a.Tag(name, base, int64(n)*8)
+	return base
+}
+
+// NamedLines reserves n lines and tags the region.
+func (a *Alloc) NamedLines(name string, n int) memory.Addr {
+	base := a.Lines(n)
+	a.Tag(name, base, int64(n)*memory.LineSize)
+	return base
+}
+
+// Sites returns the tagged reservations, in allocation order.
+func (a *Alloc) Sites() []obs.Site { return a.sites }
 
 // Used returns the total bytes reserved.
 func (a *Alloc) Used() int64 { return int64(a.next - (1 << 20)) }
