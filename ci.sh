@@ -23,6 +23,11 @@ go vet ./...
 go build ./...
 go test ./...
 
+# Sweep-runner smoke under the race detector: serial, parallel and
+# warm-cache runs must render byte-identical tables, and a warm cache
+# must simulate nothing.
+go test -race -run TestParallelSerialDeterminism ./internal/experiments
+
 # Baseline gate: workload x policy smoke set on the small 4-core system.
 # One snapshot per pair; zero tolerance — the simulator is deterministic,
 # so any drift is a real behaviour change.

@@ -4,9 +4,17 @@
 //
 //	dynamo-experiments [flags] [experiment ...]
 //
-// With no arguments it runs every experiment in paper order. Experiment
-// ids: fig1, table1, table2, table3, fig6, fig7, fig8, fig9, energy,
-// fig10, hwcost, fig11, table4, ablation, dse.
+// With no arguments (or the pseudo-id "all") it runs every experiment in
+// paper order. Experiment ids: fig1, table1, table2, table3, fig6, fig7,
+// fig8, fig9, energy, fig10, hwcost, fig11, table4, ablation, dse,
+// latency, profile.
+//
+// All simulations run through the sweep runner: identical runs are
+// deduplicated across experiments, executed on -jobs workers, and
+// persisted under -cache-dir — a second invocation with the same flags
+// simulates nothing. Tables go to stdout and are byte-identical for any
+// -jobs value and any cache state; timing, progress and cache statistics
+// go to stderr.
 package main
 
 import (
@@ -16,14 +24,17 @@ import (
 	"path/filepath"
 	"time"
 
+	"dynamo/internal/cliflags"
 	"dynamo/internal/experiments"
 )
 
 func main() {
-	threads := flag.Int("threads", 32, "worker threads per simulation (paper: 32)")
-	seed := flag.Int64("seed", 1, "workload generation seed")
-	scale := flag.Float64("scale", 1.0, "workload size multiplier")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = host cores)")
+	threads := cliflags.Threads(flag.CommandLine, 32)
+	seed := cliflags.Seed(flag.CommandLine)
+	scale := cliflags.Scale(flag.CommandLine, 1.0)
+	jobs := cliflags.Jobs(flag.CommandLine)
+	cacheDir := cliflags.CacheDir(flag.CommandLine, cliflags.DefaultCacheDir)
+	quick := flag.Bool("quick", false, "scaled-down suite (8 threads, scale 0.05) unless -threads/-scale are given")
 	verbose := flag.Bool("v", false, "log every simulation run")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -36,11 +47,23 @@ func main() {
 		return
 	}
 
+	if *quick {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["threads"] {
+			*threads = 8
+		}
+		if !set["scale"] {
+			*scale = 0.05
+		}
+	}
+
 	opts := experiments.Options{
-		Threads: *threads,
-		Seed:    *seed,
-		Scale:   *scale,
-		Workers: *workers,
+		Threads:  *threads,
+		Seed:     *seed,
+		Scale:    *scale,
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -48,11 +71,15 @@ func main() {
 	suite := experiments.NewSuite(opts)
 
 	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+	}
 	if len(ids) == 0 {
 		for _, e := range experiments.All() {
 			ids = append(ids, e.ID)
 		}
 	}
+	suiteStart := time.Now()
 	for _, id := range ids {
 		e, err := experiments.Find(id)
 		if err != nil {
@@ -65,7 +92,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s — %s (%.1fs)\n\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), table)
+		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("== %s — %s\n\n%s\n", e.ID, e.Title, table)
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
@@ -73,5 +101,18 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	st := suite.Runner().Stats()
+	fmt.Fprintf(os.Stderr,
+		"runner: %d requests -> %d jobs: %d simulated, %d memory hits, %d disk hits, %d evictions",
+		st.Requests, st.Submitted, st.Simulated(), st.Hits, st.DiskHits, st.Evictions)
+	if st.Saved > 0 {
+		fmt.Fprintf(os.Stderr, ", saved %s", st.Saved.Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, " (wall %.1fs, jobs=%d)\n",
+		time.Since(suiteStart).Seconds(), suite.Runner().Jobs())
+	if st.Simulated() == 0 && st.DiskHits > 0 {
+		fmt.Fprintln(os.Stderr, "runner: warm cache — 100% cache hits, zero simulations executed")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"dynamo"
+	"dynamo/internal/cliflags"
 	"dynamo/internal/regress"
 )
 
@@ -55,12 +56,12 @@ func smallConfig() dynamo.Config {
 
 func snapshot(args []string) {
 	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
-	wl := fs.String("workload", "", "workload name")
-	policy := fs.String("policy", "all-near", "placement policy")
-	threads := fs.Int("threads", 4, "worker threads")
-	seed := fs.Int64("seed", 1, "workload seed")
-	scale := fs.Float64("scale", 1.0, "workload size multiplier")
-	input := fs.String("input", "", "workload input variant")
+	wl := cliflags.Workload(fs)
+	policy := cliflags.Policy(fs)
+	threads := cliflags.Threads(fs, 4)
+	seed := cliflags.Seed(fs)
+	scale := cliflags.Scale(fs, 1.0)
+	input := cliflags.Input(fs)
 	small := fs.Bool("small", false, "use the shrunken 4-core CI system")
 	out := fs.String("o", "", "output file (default stdout)")
 	fs.Parse(args)
@@ -73,17 +74,18 @@ func snapshot(args []string) {
 	if *small {
 		cfg = smallConfig()
 	}
-	bus := dynamo.NewObs(false)
-	res, err := dynamo.Run(dynamo.Options{
-		Workload: *wl,
-		Policy:   *policy,
-		Threads:  *threads,
-		Seed:     *seed,
-		Scale:    *scale,
-		Input:    *input,
-		Config:   &cfg,
-		Obs:      bus,
-	})
+	s, err := dynamo.New(cfg,
+		dynamo.WithPolicy(*policy),
+		dynamo.WithThreads(*threads),
+		dynamo.WithSeed(*seed),
+		dynamo.WithScale(*scale),
+		dynamo.WithInput(*input),
+		dynamo.WithObs(dynamo.NewObs()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := s.Run(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"dynamo"
+	"dynamo/internal/cliflags"
 	"dynamo/internal/machine"
 	"dynamo/internal/trace"
 )
@@ -49,10 +50,10 @@ func usage() {
 
 func record(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
-	wl := fs.String("workload", "", "workload to record")
-	policy := fs.String("policy", "all-near", "policy during recording")
-	threads := fs.Int("threads", 8, "worker threads")
-	scale := fs.Float64("scale", 0.25, "workload size multiplier")
+	wl := cliflags.Workload(fs)
+	policy := cliflags.Policy(fs)
+	threads := cliflags.Threads(fs, 8)
+	scale := cliflags.Scale(fs, 0.25)
 	out := fs.String("o", "out.trace", "output file")
 	fs.Parse(args)
 	if *wl == "" {
@@ -64,9 +65,15 @@ func record(args []string) error {
 	}
 	defer f.Close()
 	w := trace.NewWriter(f)
-	res, err := dynamo.Run(dynamo.Options{
-		Workload: *wl, Policy: *policy, Threads: *threads, Scale: *scale, Trace: w,
-	})
+	s, err := dynamo.New(dynamo.DefaultConfig(),
+		dynamo.WithPolicy(*policy),
+		dynamo.WithThreads(*threads),
+		dynamo.WithScale(*scale),
+		dynamo.WithTrace(w))
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(*wl)
 	if err != nil {
 		return err
 	}

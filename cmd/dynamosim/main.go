@@ -19,15 +19,16 @@ import (
 	"strings"
 
 	"dynamo"
+	"dynamo/internal/cliflags"
 )
 
 func main() {
-	wl := flag.String("workload", "", "workload name (see -list)")
-	policy := flag.String("policy", "all-near", "placement policy (see -list)")
-	threads := flag.Int("threads", 32, "worker threads")
-	seed := flag.Int64("seed", 1, "workload seed")
-	scale := flag.Float64("scale", 1.0, "workload size multiplier")
-	input := flag.String("input", "", "workload input variant")
+	wl := cliflags.Workload(flag.CommandLine)
+	policy := cliflags.Policy(flag.CommandLine)
+	threads := cliflags.Threads(flag.CommandLine, 32)
+	seed := cliflags.Seed(flag.CommandLine)
+	scale := cliflags.Scale(flag.CommandLine, 1.0)
+	input := cliflags.Input(flag.CommandLine)
 	detail := flag.Bool("detail", false, "print every raw counter")
 	prefetch := flag.Int("prefetch", 0, "L1D stride prefetch degree (0 = off)")
 	hist := flag.Bool("hist", false, "print per-class latency histograms and counters")
@@ -37,7 +38,7 @@ func main() {
 	intervalJSON := flag.String("interval-json", "", "write the interval series as JSON to this file")
 	intervalCSV := flag.String("interval-csv", "", "write the interval series as CSV to this file")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
-	jsonOut := flag.Bool("json", false, "emit the full run result as JSON instead of text")
+	jsonOut := cliflags.JSON(flag.CommandLine)
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
@@ -75,30 +76,38 @@ func main() {
 	if *profileJSON != "" && *hotlines == 0 {
 		*hotlines = 32
 	}
+	opts := []dynamo.Option{
+		dynamo.WithPolicy(*policy),
+		dynamo.WithThreads(*threads),
+		dynamo.WithSeed(*seed),
+		dynamo.WithScale(*scale),
+		dynamo.WithInput(*input),
+	}
 	var bus *dynamo.ObsBus
 	if *hist || *timeline != "" || *jsonOut || *hotlines > 0 || *interval > 0 {
-		bus = dynamo.NewObs(*timeline != "")
+		if *timeline != "" {
+			bus = dynamo.NewObs(dynamo.WithTimeline())
+		} else {
+			bus = dynamo.NewObs()
+		}
+		opts = append(opts, dynamo.WithObs(bus))
 	}
 	var prof *dynamo.Profiler
 	if *hotlines > 0 {
 		prof = dynamo.NewProfiler(*hotlines)
+		opts = append(opts, dynamo.WithProfile(prof))
 	}
 	var rec *dynamo.IntervalRecorder
 	if *interval > 0 {
 		rec = dynamo.NewIntervalRecorder(*interval, 0)
+		opts = append(opts, dynamo.WithInterval(rec))
 	}
-	res, err := dynamo.Run(dynamo.Options{
-		Workload: *wl,
-		Policy:   *policy,
-		Threads:  *threads,
-		Seed:     *seed,
-		Scale:    *scale,
-		Input:    *input,
-		Config:   &cfg,
-		Obs:      bus,
-		Profile:  prof,
-		Interval: rec,
-	})
+	session, err := dynamo.New(cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := session.Run(*wl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -6,12 +6,16 @@
 //
 // Quick start:
 //
-//	res, err := dynamo.Run(dynamo.Options{
-//		Workload: "histogram",
-//		Policy:   "dynamo-reuse-pn",
-//		Threads:  32,
-//	})
+//	s, err := dynamo.New(dynamo.DefaultConfig(),
+//		dynamo.WithPolicy("dynamo-reuse-pn"),
+//		dynamo.WithThreads(32))
+//	if err != nil { ... }
+//	res, err := s.Run("histogram")
 //	fmt.Printf("%d cycles, APKI %.1f\n", res.Cycles, res.APKI)
+//
+// For sweeps over many (workload, policy) pairs, use Runner: it dedupes
+// identical runs, executes on a bounded worker pool, and persists results
+// so repeated sweeps simulate nothing.
 //
 // Every run validates the workload's functional result (histograms sum,
 // sorted output is sorted, BFS distances match a serial reference), so a
@@ -89,10 +93,26 @@ type ObsBus = obs.Bus
 // attached to Result.Obs when a bus was passed via Options.Obs.
 type ObsReport = obs.Report
 
-// NewObs creates an observability bus to pass via Options.Obs. timeline
-// selects whether per-event timeline data is buffered for WriteTimeline —
-// histograms and counters are always collected.
-func NewObs(timeline bool) *ObsBus { return obs.New(obs.Options{Timeline: timeline}) }
+// ObsOption configures an observability bus built with NewObs.
+type ObsOption func(*obs.Options)
+
+// WithTimeline buffers per-event timeline data for ObsBus.WriteTimeline.
+// Memory grows with the run; intended for scaled-down runs that will be
+// inspected visually. Histograms and counters are always collected.
+func WithTimeline() ObsOption {
+	return func(o *obs.Options) { o.Timeline = true }
+}
+
+// NewObs creates an observability bus to pass via WithObs (or the
+// deprecated Options.Obs). By default only histograms and counters are
+// collected; add WithTimeline for the Chrome trace-event export.
+func NewObs(opts ...ObsOption) *ObsBus {
+	var o obs.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return obs.New(o)
+}
 
 // Profiler is the per-cacheline contention profiler: a bounded top-K table
 // of the hottest AMO lines with near/far placement, snoop and HN-occupancy
@@ -152,6 +172,9 @@ func ProbeCounters() []string { return obs.KnownCounters() }
 func ProbeSpans() []string { return obs.KnownSpans() }
 
 // Options selects what to run.
+//
+// Deprecated: build a Session with New and functional options instead;
+// Options remains as the carrier for the deprecated Run entry point.
 type Options struct {
 	// Workload is a Table III workload name (see Workloads).
 	Workload string
@@ -211,6 +234,9 @@ func (o Options) fill() (Options, Config, error) {
 
 // Run executes one workload under one policy and returns its metrics. The
 // workload's functional result is validated unless SkipValidation is set.
+//
+// Deprecated: Use New(cfg, ...Option) and Session.Run; Run remains as a
+// thin wrapper and behaves identically.
 func Run(opts Options) (*Result, error) {
 	opts, cfg, err := opts.fill()
 	if err != nil {
@@ -235,6 +261,9 @@ func Run(opts Options) (*Result, error) {
 // RunCounter executes the Fig. 1 shared-counter microbenchmark: threads
 // threads each performing ops atomic increments, with AtomicStore
 // (noReturn) or AtomicLoad semantics.
+//
+// Deprecated: Use New(cfg, WithPolicy(policy), WithThreads(threads)) and
+// Session.RunCounter; RunCounter remains as a thin wrapper.
 func RunCounter(policy string, threads, ops int, noReturn bool, cfg *Config) (*Result, error) {
 	opts, conf, err := Options{Policy: policy, Threads: threads, Config: cfg}.fill()
 	if err != nil {
@@ -295,6 +324,10 @@ type Program = cpu.Program
 // RunPrograms is the low-level entry point: it runs arbitrary programs
 // (at most one per core) on a machine built from cfg and returns the
 // metrics plus a read function for inspecting final memory contents.
+//
+// Deprecated: Use New(cfg, ...Option) and Session.RunPrograms, which
+// additionally honours trace and observability attachments; RunPrograms
+// remains as a thin wrapper over the bare machine.
 func RunPrograms(cfg Config, programs []Program) (*Result, func(addr uint64) uint64, error) {
 	m, err := machine.New(cfg)
 	if err != nil {

@@ -18,7 +18,7 @@ func TestNoProbeLeaksAcrossWorkloads(t *testing.T) {
 		t.Run(wl, func(t *testing.T) {
 			t.Parallel()
 			cfg := smallConfig()
-			bus := NewObs(false)
+			bus := NewObs()
 			if _, err := Run(Options{
 				Workload: wl,
 				Threads:  4,
@@ -40,7 +40,7 @@ func TestNoProbeLeaksAcrossWorkloads(t *testing.T) {
 func profiledHistogramRun(t *testing.T) (profJSON, csv, seriesJSON, snapJSON []byte) {
 	t.Helper()
 	cfg := smallConfig()
-	bus := NewObs(false)
+	bus := NewObs()
 	prof := NewProfiler(16)
 	rec := NewIntervalRecorder(5000, 0)
 	res, err := Run(Options{

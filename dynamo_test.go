@@ -224,7 +224,7 @@ func TestPolicyDirectionsEndToEnd(t *testing.T) {
 func observedHistogramRun(t *testing.T) ([]byte, string) {
 	t.Helper()
 	cfg := smallConfig()
-	bus := NewObs(true)
+	bus := NewObs(WithTimeline())
 	res, err := Run(Options{
 		Workload: "histogram", Policy: "dynamo-reuse-pn",
 		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,
@@ -272,7 +272,7 @@ func TestObservedRunIsDeterministic(t *testing.T) {
 
 func TestResultJSONRoundTrip(t *testing.T) {
 	cfg := smallConfig()
-	bus := NewObs(false)
+	bus := NewObs()
 	res, err := Run(Options{
 		Workload: "histogram", Policy: "all-near",
 		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,

@@ -24,11 +24,13 @@ func main() {
 	for _, input := range inputs {
 		cycles := map[string]uint64{}
 		for _, p := range policies {
-			res, err := dynamo.Run(dynamo.Options{
-				Workload: "histogram",
-				Policy:   p,
-				Input:    input,
-			})
+			s, err := dynamo.New(dynamo.DefaultConfig(),
+				dynamo.WithPolicy(p),
+				dynamo.WithInput(input))
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := s.Run("histogram")
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -41,13 +41,15 @@ func batched(th *dynamo.Thread) {
 }
 
 func run(pattern string, prog dynamo.Program, policy string) uint64 {
-	cfg := dynamo.DefaultConfig()
-	cfg.Policy = policy
+	s, err := dynamo.New(dynamo.DefaultConfig(), dynamo.WithPolicy(policy))
+	if err != nil {
+		log.Fatalf("%s/%s: %v", pattern, policy, err)
+	}
 	progs := make([]dynamo.Program, threads)
 	for i := range progs {
 		progs[i] = prog
 	}
-	res, read, err := dynamo.RunPrograms(cfg, progs)
+	res, read, err := s.RunPrograms(progs)
 	if err != nil {
 		log.Fatalf("%s/%s: %v", pattern, policy, err)
 	}

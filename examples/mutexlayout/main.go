@@ -23,8 +23,10 @@ const (
 // returns the cycle count. layoutFar selects the split (far-friendly)
 // layout; policy selects where the lock AMOs execute.
 func run(layoutFar bool, policy string) uint64 {
-	cfg := dynamo.DefaultConfig()
-	cfg.Policy = policy
+	s, err := dynamo.New(dynamo.DefaultConfig(), dynamo.WithPolicy(policy))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The two layouts, built inline against the public Thread API with
 	// the exact access sequences of Fig. 4.
@@ -65,7 +67,7 @@ func run(layoutFar bool, policy string) uint64 {
 	for i := range progs {
 		progs[i] = prog
 	}
-	res, read, err := dynamo.RunPrograms(cfg, progs)
+	res, read, err := s.RunPrograms(progs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,18 +13,22 @@ func main() {
 	const workload = "histogram"
 	fmt.Printf("running %q on the 32-core Table II system...\n\n", workload)
 
-	baseline, err := dynamo.Run(dynamo.Options{
-		Workload: workload,
-		Policy:   "all-near", // every AMO executes in the L1D
-	})
+	// every AMO executes in the L1D
+	near, err := dynamo.New(dynamo.DefaultConfig(), dynamo.WithPolicy("all-near"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := near.Run(workload)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	dyn, err := dynamo.Run(dynamo.Options{
-		Workload: workload,
-		Policy:   "dynamo-reuse-pn", // the paper's best predictor
-	})
+	// the paper's best predictor
+	pred, err := dynamo.New(dynamo.DefaultConfig(), dynamo.WithPolicy("dynamo-reuse-pn"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dyn, err := pred.Run(workload)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -109,12 +110,16 @@ func DynamicNames() []string {
 	return []string{"dynamo-metric", "dynamo-reuse-un", "dynamo-reuse-pn"}
 }
 
+// ErrUnknownPolicy reports a policy name absent from the registry. It is
+// re-exported at the package dynamo surface; match with errors.Is.
+var ErrUnknownPolicy = errors.New("unknown policy")
+
 // New builds the named policy for a system with cores cores. It returns an
 // error for unknown names or invalid AMT configurations.
 func New(name string, cores int, amt AMTConfig) (chi.Policy, error) {
 	b, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown policy %q (have %v)", name, Names())
+		return nil, fmt.Errorf("core: %w %q (have %v)", ErrUnknownPolicy, name, Names())
 	}
 	if err := amt.Validate(); err != nil {
 		return nil, err

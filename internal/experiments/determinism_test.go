@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// determinismIDs cover every runner code path the suite uses: the Fig. 1
+// counter microbenchmark, registry workloads with input variants, observed
+// runs and profiled runs.
+var determinismIDs = []string{"fig1", "fig9", "latency", "profile"}
+
+// renderAll runs the determinism experiment set and concatenates the
+// rendered tables, exactly as dynamo-experiments prints them to stdout.
+func renderAll(t *testing.T, s *Suite) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range determinismIDs {
+		e, err := Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b.WriteString("== " + id + "\n" + tab.String() + "\n")
+	}
+	return b.String()
+}
+
+// TestParallelSerialDeterminism is the acceptance gate for the sweep
+// runner: the rendered tables must be byte-identical whether simulations
+// run serially or eight at a time, and whether they were simulated in
+// this process or recalled from a warm persistent cache — and a warm
+// cache must execute zero simulations.
+func TestParallelSerialDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	base := Options{Threads: 2, Scale: 0.05, Seed: 1}
+
+	serialOpts := base
+	serialOpts.Workers = 1
+	serial := renderAll(t, NewSuite(serialOpts))
+
+	dir := t.TempDir()
+	coldOpts := base
+	coldOpts.Workers = 8
+	coldOpts.CacheDir = dir
+	coldSuite := NewSuite(coldOpts)
+	cold := renderAll(t, coldSuite)
+	if cold != serial {
+		t.Fatal("jobs=8 output differs from jobs=1 output")
+	}
+	if st := coldSuite.Runner().Stats(); st.Simulated() == 0 {
+		t.Fatalf("cold run simulated nothing: %+v", st)
+	}
+
+	warmSuite := NewSuite(coldOpts)
+	warm := renderAll(t, warmSuite)
+	if warm != serial {
+		t.Fatal("warm-cache output differs from cold output")
+	}
+	st := warmSuite.Runner().Stats()
+	if st.Simulated() != 0 {
+		t.Fatalf("warm cache executed %d simulations: %+v", st.Simulated(), st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatalf("warm cache hit nothing: %+v", st)
+	}
+}

@@ -3,20 +3,22 @@
 // table plus machine-readable rows; the dynamo-experiments command prints
 // them, and EXPERIMENTS.md records paper-vs-measured values.
 //
-// Independent simulations run concurrently on host cores; each simulation
-// is itself single-threaded and deterministic, so results are reproducible
-// regardless of the worker count.
+// All simulations run through internal/runner: identical (workload,
+// policy, configuration) requests are deduplicated across every
+// experiment in the suite, executed concurrently on a bounded worker
+// pool, and — when a cache directory is configured — persisted so a
+// repeated suite run simulates nothing. Each simulation is itself
+// single-threaded and deterministic, so tables are byte-identical
+// regardless of the worker count or cache state.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 
-	"dynamo/internal/core"
 	"dynamo/internal/machine"
-	"dynamo/internal/sim"
+	"dynamo/internal/runner"
 	"dynamo/internal/stats"
 	"dynamo/internal/workload"
 )
@@ -33,6 +35,9 @@ type Options struct {
 	Scale float64
 	// Workers bounds concurrent simulations (default: host cores).
 	Workers int
+	// CacheDir, when non-empty, persists simulation results on disk (see
+	// runner.Options.CacheDir); a warm cache re-simulates nothing.
+	CacheDir string
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -53,14 +58,15 @@ func (o Options) fill() Options {
 	return o
 }
 
-// Suite runs experiments with memoized simulation results, so Best Static
-// bars and shared baselines are computed once.
+// Suite runs experiments on a shared sweep runner, so Best Static bars,
+// shared baselines and repeated sweeps are simulated once.
 type Suite struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[runKey]*runOutcome
+	opts Options
+	r    *runner.Runner
 }
 
+// runKey identifies one cached simulation within the suite; the runner
+// adds the suite-wide seed and scale to form the full request.
 type runKey struct {
 	workload string
 	policy   string
@@ -70,161 +76,77 @@ type runKey struct {
 	sysVariant string
 }
 
-type runOutcome struct {
-	res *machine.Result
-	err error
-}
-
 // NewSuite builds a suite.
 func NewSuite(o Options) *Suite {
-	return &Suite{opts: o.fill(), cache: make(map[runKey]*runOutcome)}
+	o = o.fill()
+	return &Suite{opts: o, r: runner.New(runner.Options{
+		Jobs:     o.Workers,
+		CacheDir: o.CacheDir,
+		Log:      o.Log,
+	})}
 }
 
 // Opts returns the effective options.
 func (s *Suite) Opts() Options { return s.opts }
 
-func (s *Suite) logf(format string, args ...any) {
-	if s.opts.Log != nil {
-		fmt.Fprintf(s.opts.Log, format+"\n", args...)
-	}
-}
+// Runner exposes the suite's sweep engine (for progress and cache stats).
+func (s *Suite) Runner() *runner.Runner { return s.r }
 
-// sysVariants maps variant names to configuration mutations.
+// sysVariant maps variant names to configuration mutations.
 func sysVariant(name string, cfg *machine.Config) error {
-	switch name {
-	case "", "base":
-	case "noc-1c":
-		cfg.Chi.Mesh.RouteLatency = 0
-		cfg.Chi.Mesh.LinkLatency = 1
-	case "noc-3c":
-		cfg.Chi.Mesh.RouteLatency = 2
-		cfg.Chi.Mesh.LinkLatency = 1
-	case "half-lat":
-		cfg.Chi.Mem.Latency /= 2
-	case "double-lat":
-		cfg.Chi.Mem.Latency *= 2
-	default:
-		var n int
-		switch {
-		case scanInt(name, "amobuf-%d", &n):
-			cfg.Chi.AMOBufEntries = n
-		case scanInt(name, "maxatomics-%d", &n):
-			cfg.CPU.MaxAtomics = n
-		case scanInt(name, "occupancy-%d", &n):
-			cfg.Chi.FarAMOOccupancy = sim.Tick(n)
-		case scanInt(name, "prefetch-%d", &n):
-			cfg.Chi.PrefetchDegree = n
-		default:
-			// AMT variants: amt-e<entries>-w<ways>-c<counter>.
-			var e, w, c int
-			if _, err := fmt.Sscanf(name, "amt-e%d-w%d-c%d", &e, &w, &c); err != nil {
-				return fmt.Errorf("experiments: unknown system variant %q", name)
-			}
-			cfg.AMT = core.AMTConfig{Entries: e, Ways: w, CounterMax: c}
-		}
-	}
-	return nil
+	return runner.ApplyVariant(name, cfg)
 }
 
-// scanInt parses a single-integer variant name.
-func scanInt(name, format string, out *int) bool {
-	_, err := fmt.Sscanf(name, format, out)
-	return err == nil
+// request expands a suite run key into a full runner request.
+func (s *Suite) request(key runKey) runner.Request {
+	return runner.Request{
+		Workload:   key.workload,
+		Policy:     key.policy,
+		Input:      key.input,
+		Threads:    key.threads,
+		Seed:       s.opts.Seed,
+		Scale:      s.opts.Scale,
+		SysVariant: key.sysVariant,
+	}
 }
 
 // run executes (or recalls) one simulation.
 func (s *Suite) run(key runKey) (*machine.Result, error) {
-	if key.sysVariant == "base" {
-		key.sysVariant = "" // the base system shares cache entries
-	}
-	s.mu.Lock()
-	if out, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return out.res, out.err
-	}
-	s.mu.Unlock()
-
-	res, err := s.execute(key)
-
-	s.mu.Lock()
-	s.cache[key] = &runOutcome{res: res, err: err}
-	s.mu.Unlock()
+	out, err := s.r.Run(s.request(key))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s(%s): %w", key.workload, key.policy, key.input, err)
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return res, nil
+	return out.Result, nil
 }
 
-func (s *Suite) execute(key runKey) (*machine.Result, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Policy = key.policy
-	if err := sysVariant(key.sysVariant, &cfg); err != nil {
-		return nil, err
+// prefetch submits a set of keys so they simulate concurrently on the
+// runner's pool; the serial collection loops that follow then read every
+// result from the cache in deterministic order.
+func (s *Suite) prefetch(keys []runKey) error {
+	tasks := make([]*runner.Task, len(keys))
+	for i, k := range keys {
+		tasks[i] = s.r.Submit(s.request(k))
 	}
-	spec, err := workload.Get(key.workload)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := spec.Build(workload.Params{
-		Threads: key.threads,
-		Seed:    s.opts.Seed,
-		Scale:   s.opts.Scale,
-		Input:   key.input,
-	})
-	if err != nil {
-		return nil, err
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if inst.Setup != nil {
-		inst.Setup(m.Sys.Data)
-	}
-	res, err := m.Run(inst.Programs)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.Validate(m.Sys.Data); err != nil {
-		return nil, fmt.Errorf("validation: %w", err)
-	}
-	s.logf("  ran %-12s %-16s %-8s variant=%-14s %10d cycles", key.workload, key.policy, key.input, key.sysVariant, res.Cycles)
-	return res, nil
-}
-
-// parallel runs jobs on the worker pool, returning the first error.
-func (s *Suite) parallel(jobs []func() error) error {
-	sem := make(chan struct{}, s.opts.Workers)
-	errc := make(chan error, len(jobs))
-	var wg sync.WaitGroup
-	for _, job := range jobs {
-		job := job
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errc <- job()
-		}()
-	}
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		if err != nil {
-			return err
+	for _, t := range tasks {
+		if _, err := t.Wait(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
 		}
 	}
 	return nil
 }
 
-// prefetch warms the cache for a set of keys in parallel.
-func (s *Suite) prefetch(keys []runKey) error {
-	jobs := make([]func() error, len(keys))
-	for i, k := range keys {
-		k := k
-		jobs[i] = func() error { _, err := s.run(k); return err }
+// submit enqueues pre-built requests and waits for all of them.
+func (s *Suite) submit(reqs []runner.Request) error {
+	tasks := make([]*runner.Task, len(reqs))
+	for i, q := range reqs {
+		tasks[i] = s.r.Submit(q)
 	}
-	return s.parallel(jobs)
+	for _, t := range tasks {
+		if _, err := t.Wait(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return nil
 }
 
 // classSets returns the workload names of the LMH, MH and H sets.

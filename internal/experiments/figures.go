@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"dynamo/internal/core"
-	"dynamo/internal/machine"
+	"dynamo/internal/runner"
 	"dynamo/internal/stats"
 	"dynamo/internal/workload"
 )
@@ -32,27 +31,25 @@ func (s *Suite) Figure1() (*stats.Table, error) {
 		{"AtomicLoad-Far", "unique-near", false},
 		{"AtomicStore-Far", "unique-near", true},
 	}
+	var reqs []runner.Request
+	for _, v := range variants {
+		for _, tc := range threadCounts {
+			reqs = append(reqs, s.counterRequest(v.policy, tc, ops, v.noReturn))
+		}
+	}
+	if err := s.submit(reqs); err != nil {
+		return nil, err
+	}
 	results := make(map[string]map[int]float64)
-	var jobs []func() error
-	var mu sync.Mutex
 	for _, v := range variants {
 		results[v.name] = make(map[int]float64)
 		for _, tc := range threadCounts {
-			v, tc := v, tc
-			jobs = append(jobs, func() error {
-				res, err := s.runCounter(v.policy, tc, ops, v.noReturn)
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				defer mu.Unlock()
-				results[v.name][tc] = float64(tc*ops) / float64(res.Cycles) * 1000
-				return nil
-			})
+			out, err := s.r.Run(s.counterRequest(v.policy, tc, ops, v.noReturn))
+			if err != nil {
+				return nil, err
+			}
+			results[v.name][tc] = float64(tc*ops) / float64(out.Result.Cycles) * 1000
 		}
-	}
-	if err := s.parallel(jobs); err != nil {
-		return nil, err
 	}
 	t := &stats.Table{Header: []string{"threads", "Atomic-Near", "AtomicLoad-Far", "AtomicStore-Far"}}
 	for _, tc := range threadCounts {
@@ -64,30 +61,16 @@ func (s *Suite) Figure1() (*stats.Table, error) {
 	return t, nil
 }
 
-// runCounter executes the Fig. 1 microbenchmark outside the workload
-// registry cache (it is parameterized by thread count).
-func (s *Suite) runCounter(policy string, threads, ops int, noReturn bool) (*machine.Result, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Policy = policy
-	inst, err := workload.Counter(threads, ops, noReturn, 8)
-	if err != nil {
-		return nil, err
+// counterRequest builds the Fig. 1 microbenchmark request (parameterized
+// by thread count, so it lives outside the workload registry).
+func (s *Suite) counterRequest(policy string, threads, ops int, noReturn bool) runner.Request {
+	return runner.Request{
+		Policy:  policy,
+		Threads: threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+		Counter: &runner.CounterSpec{Ops: ops, NoReturn: noReturn, Cells: 8},
 	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if inst.Setup != nil {
-		inst.Setup(m.Sys.Data)
-	}
-	res, err := m.Run(inst.Programs)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.Validate(m.Sys.Data); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // Figure6 reproduces the APKI characterization: AMOs per kilo-instruction
@@ -430,31 +413,25 @@ var dseWorkloads = []string{"barnes", "radiosity", "bfs", "histogram", "radixsor
 // neighbours.
 func (s *Suite) DesignSpace() (*stats.Table, error) {
 	policies := core.PracticalDesignSpace()
-	type cell struct {
-		cycles map[string]uint64
-	}
-	results := make(map[string]cell)
-	var mu sync.Mutex
-	var jobs []func() error
+	var reqs []runner.Request
 	for _, p := range policies {
-		p := p
-		results[p.Name()] = cell{cycles: make(map[string]uint64)}
 		for _, wl := range dseWorkloads {
-			wl := wl
-			jobs = append(jobs, func() error {
-				res, err := s.runWithPolicy(p, wl)
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				defer mu.Unlock()
-				results[p.Name()].cycles[wl] = uint64(res.Cycles)
-				return nil
-			})
+			reqs = append(reqs, s.dseRequest(p, wl))
 		}
 	}
-	if err := s.parallel(jobs); err != nil {
+	if err := s.submit(reqs); err != nil {
 		return nil, err
+	}
+	results := make(map[string]map[string]uint64)
+	for _, p := range policies {
+		results[p.Name()] = make(map[string]uint64)
+		for _, wl := range dseWorkloads {
+			out, err := s.r.Run(s.dseRequest(p, wl))
+			if err != nil {
+				return nil, err
+			}
+			results[p.Name()][wl] = uint64(out.Result.Cycles)
+		}
 	}
 	// All Near is the dse policy with the all-near row.
 	var baseName string
@@ -467,8 +444,8 @@ func (s *Suite) DesignSpace() (*stats.Table, error) {
 	for _, p := range policies {
 		var xs []float64
 		for _, wl := range dseWorkloads {
-			base := results[baseName].cycles[wl]
-			mine := results[p.Name()].cycles[wl]
+			base := results[baseName][wl]
+			mine := results[p.Name()][wl]
 			xs = append(xs, stats.Speedup(base, mine))
 		}
 		name := core.CanonicalName(p)
@@ -480,32 +457,15 @@ func (s *Suite) DesignSpace() (*stats.Table, error) {
 	return t, nil
 }
 
-// runWithPolicy executes one workload under an explicit policy object
-// (design-space candidates are not in the registry, so these runs bypass
-// the suite cache).
-func (s *Suite) runWithPolicy(p *core.Static, wl string) (*machine.Result, error) {
-	spec, err := workload.Get(wl)
-	if err != nil {
-		return nil, err
+// dseRequest builds the request for one workload under an unregistered
+// Section IV candidate, addressed by its decision string so the runner
+// can reconstruct (and cache) it deterministically.
+func (s *Suite) dseRequest(p *core.Static, wl string) runner.Request {
+	return runner.Request{
+		Workload: wl,
+		DSE:      core.DecisionString(p),
+		Threads:  s.opts.Threads,
+		Seed:     s.opts.Seed,
+		Scale:    s.opts.Scale,
 	}
-	inst, err := spec.Build(workload.Params{Threads: s.opts.Threads, Seed: s.opts.Seed, Scale: s.opts.Scale})
-	if err != nil {
-		return nil, err
-	}
-	m, err := machine.NewWithPolicy(machine.DefaultConfig(), p)
-	if err != nil {
-		return nil, err
-	}
-	if inst.Setup != nil {
-		inst.Setup(m.Sys.Data)
-	}
-	res, err := m.Run(inst.Programs)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.Validate(m.Sys.Data); err != nil {
-		return nil, err
-	}
-	s.logf("  ran %-12s %-16s %10d cycles", wl, p.Name(), res.Cycles)
-	return res, nil
 }

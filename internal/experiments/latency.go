@@ -3,48 +3,29 @@ package experiments
 import (
 	"fmt"
 
-	"dynamo/internal/machine"
 	"dynamo/internal/obs"
+	"dynamo/internal/runner"
 	"dynamo/internal/stats"
-	"dynamo/internal/workload"
 )
 
 // observedRun executes one workload under one policy with the observability
-// bus enabled and returns the run's report. Observed runs bypass the suite
-// cache: they exist only for the latency experiment, and sharing results
-// with unobserved runs would make cache order visible in the output.
+// bus enabled and returns the run's report. Observed runs carry their own
+// digest (the Observe flag is part of it), so they never share cache
+// entries with unobserved runs and cache order stays invisible in the
+// output.
 func (s *Suite) observedRun(wl, policy string) (*obs.Report, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Policy = policy
-	cfg.Obs = obs.New(obs.Options{})
-	spec, err := workload.Get(wl)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := spec.Build(workload.Params{
-		Threads: s.opts.Threads,
-		Seed:    s.opts.Seed,
-		Scale:   s.opts.Scale,
+	out, err := s.r.Run(runner.Request{
+		Workload: wl,
+		Policy:   policy,
+		Threads:  s.opts.Threads,
+		Seed:     s.opts.Seed,
+		Scale:    s.opts.Scale,
+		Observe:  true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if inst.Setup != nil {
-		inst.Setup(m.Sys.Data)
-	}
-	res, err := m.Run(inst.Programs)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.Validate(m.Sys.Data); err != nil {
-		return nil, fmt.Errorf("validation: %w", err)
-	}
-	s.logf("  observed %-12s %-16s %10d cycles", wl, policy, res.Cycles)
-	return res.Obs, nil
+	return out.Result.Obs, nil
 }
 
 // latencyPolicies are the policies the breakdown contrasts: the paper's

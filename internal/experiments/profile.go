@@ -3,54 +3,28 @@ package experiments
 import (
 	"fmt"
 
-	"dynamo/internal/machine"
-	"dynamo/internal/obs"
 	"dynamo/internal/obs/profile"
+	"dynamo/internal/runner"
 	"dynamo/internal/stats"
-	"dynamo/internal/workload"
 )
 
 // profiledRun executes one workload under one policy with the contention
-// profiler attached and returns the hot-line report. Like observedRun it
-// bypasses the suite cache: the profiler mutates per-run state.
+// profiler attached and returns the hot-line report. Profiled runs carry
+// their own digest (the top-K is part of it), so the profiler's per-run
+// state never contaminates shared cache entries.
 func (s *Suite) profiledRun(wl, policy string, k int) (*profile.HotReport, error) {
-	cfg := machine.DefaultConfig()
-	cfg.Policy = policy
-	bus := obs.New(obs.Options{})
-	cfg.Obs = bus
-	prof := profile.NewProfiler(k)
-	bus.AttachContention(prof)
-	spec, err := workload.Get(wl)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := spec.Build(workload.Params{
-		Threads: s.opts.Threads,
-		Seed:    s.opts.Seed,
-		Scale:   s.opts.Scale,
+	out, err := s.r.Run(runner.Request{
+		Workload:    wl,
+		Policy:      policy,
+		Threads:     s.opts.Threads,
+		Seed:        s.opts.Seed,
+		Scale:       s.opts.Scale,
+		ProfileTopK: k,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	for _, site := range inst.Sites {
-		bus.RegisterSite(site)
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if inst.Setup != nil {
-		inst.Setup(m.Sys.Data)
-	}
-	res, err := m.Run(inst.Programs)
-	if err != nil {
-		return nil, err
-	}
-	if err := inst.Validate(m.Sys.Data); err != nil {
-		return nil, fmt.Errorf("validation: %w", err)
-	}
-	s.logf("  profiled %-12s %-16s %10d cycles", wl, policy, res.Cycles)
-	return prof.Report(bus.SiteOf), nil
+	return out.Hot, nil
 }
 
 // profileCases contrasts the paper's two contention archetypes: radiosity's

@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dynamo/internal/machine"
+	"dynamo/internal/obs/profile"
+)
+
+// entrySchema versions the on-disk cache file format (distinct from
+// ConfigSchema, which versions what a digest means). Entries written under
+// an older schema are evicted on read.
+const entrySchema = 1
+
+// entry is one persisted cache file: results/cache/<digest>.json.
+type entry struct {
+	Schema int `json:"schema"`
+	// Meta is the request's canonical metadata, stored so a hit can be
+	// verified against the request instead of trusting the filename.
+	Meta map[string]string `json:"meta"`
+	// ElapsedNS is the wall-clock the original simulation took; cache
+	// hits credit it to Stats.Saved.
+	ElapsedNS int64              `json:"elapsed_ns"`
+	Result    *machine.Result    `json:"result"`
+	Hot       *profile.HotReport `json:"hot,omitempty"`
+}
+
+// store is the persistent result cache. A nil store (no cache directory)
+// never hits and never writes.
+type store struct {
+	dir string
+}
+
+func newStore(dir string) *store {
+	if dir == "" {
+		return nil
+	}
+	return &store{dir: dir}
+}
+
+func (s *store) path(digest string) string {
+	return filepath.Join(s.dir, digest+".json")
+}
+
+// errEvicted marks a cache file that existed but was unusable (corrupt,
+// old schema, or digest collision); the caller counts an eviction and
+// re-simulates.
+var errEvicted = errors.New("runner: cache entry evicted")
+
+// load returns the cached outcome for a request, os.ErrNotExist on a
+// clean miss, or errEvicted after removing an unusable entry.
+func (s *store) load(q Request) (*Outcome, time.Duration, error) {
+	if s == nil {
+		return nil, 0, os.ErrNotExist
+	}
+	path := s.path(q.Digest())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, os.ErrNotExist
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, 0, s.evict(path)
+	}
+	if e.Schema != entrySchema || e.Result == nil || !metaEqual(e.Meta, q.meta()) {
+		return nil, 0, s.evict(path)
+	}
+	return &Outcome{Result: e.Result, Hot: e.Hot, Cached: true},
+		time.Duration(e.ElapsedNS), nil
+}
+
+func (s *store) evict(path string) error {
+	os.Remove(path)
+	return errEvicted
+}
+
+// save persists an outcome atomically: the entry is written to a
+// temporary file in the cache directory and renamed into place, so a
+// concurrent reader sees either the old entry or the complete new one.
+func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("runner: creating cache dir: %w", err)
+	}
+	e := entry{
+		Schema:    entrySchema,
+		Meta:      q.meta(),
+		ElapsedNS: elapsed.Nanoseconds(),
+		Result:    out.Result,
+		Hot:       out.Hot,
+	}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(q.Digest())); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	return nil
+}
+
+func metaEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+// Package runner is the sweep engine behind the experiment harness and
+// the public dynamo.Runner: it canonicalises every simulation request
+// into a deterministic content digest, dedupes identical requests into a
+// single job, executes jobs on a bounded worker pool (each job builds its
+// own machine, so determinism is per-run, not per-schedule), and backs
+// the in-memory result cache with a persistent on-disk store so repeated
+// sweeps simulate nothing.
+package runner
+
+import (
+	"fmt"
+	"strconv"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/obs"
+	"dynamo/internal/obs/profile"
+	"dynamo/internal/regress"
+	"dynamo/internal/sim"
+	"dynamo/internal/workload"
+)
+
+// ConfigSchema versions the meaning of a request digest. Bump it whenever
+// the simulated system's semantics change (machine configuration defaults,
+// workload generation, policy behaviour): every persisted cache entry is
+// then invalidated at once, because digests stop matching.
+const ConfigSchema = 1
+
+// CounterSpec selects the Fig. 1 shared-counter microbenchmark instead of
+// a registry workload: Threads threads each performing Ops atomic
+// increments over Cells counters, with AtomicStore (NoReturn) or
+// AtomicLoad semantics.
+type CounterSpec struct {
+	Ops      int  `json:"ops"`
+	NoReturn bool `json:"no_return"`
+	// Cells is the number of shared counters (the Fig. 1 gap).
+	Cells int `json:"cells"`
+}
+
+// Request identifies one simulation: a workload (or counter
+// microbenchmark, or design-space candidate), a policy, the run
+// parameters, and which reports to collect. Requests with equal
+// canonical digests are the same job and share one result.
+//
+// All requests execute on the default Table II system, optionally mutated
+// by SysVariant — the configuration is part of the digest via the variant
+// name and ConfigSchema, never an arbitrary struct.
+type Request struct {
+	// Workload is a registry workload name (empty when Counter is set).
+	Workload string
+	// Policy is a registered policy name ("" selects "all-near").
+	Policy string
+	// Input selects a workload input variant ("" = default).
+	Input   string
+	Threads int
+	Seed    int64
+	Scale   float64
+	// SysVariant names a non-default system configuration (see
+	// ApplyVariant); "" and "base" are the default system.
+	SysVariant string
+	// DSE selects an unregistered Section IV design-space candidate by
+	// its decision string (see core.DecisionString); overrides Policy.
+	DSE string
+	// Counter selects the Fig. 1 microbenchmark instead of Workload.
+	Counter *CounterSpec
+	// Observe collects the observability report into the result's Obs.
+	Observe bool
+	// ProfileTopK, when positive, attaches the contention profiler and
+	// collects the top-K hot-line report (implies an observability bus).
+	ProfileTopK int
+}
+
+// normalize fills defaults so equal effective requests share a digest.
+func (q Request) normalize() Request {
+	if q.Policy == "" && q.DSE == "" {
+		q.Policy = "all-near"
+	}
+	if q.Threads == 0 {
+		q.Threads = machine.DefaultConfig().Chi.Cores
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	if q.Scale == 0 {
+		q.Scale = 1
+	}
+	if q.SysVariant == "base" {
+		q.SysVariant = ""
+	}
+	return q
+}
+
+// meta canonicalises the request into the flat metadata map the digest is
+// computed over (and that persisted cache entries are verified against).
+func (q Request) meta() map[string]string {
+	m := map[string]string{
+		"schema":   strconv.Itoa(ConfigSchema),
+		"workload": q.Workload,
+		"policy":   q.Policy,
+		"input":    q.Input,
+		"threads":  strconv.Itoa(q.Threads),
+		"seed":     strconv.FormatInt(q.Seed, 10),
+		"scale":    strconv.FormatFloat(q.Scale, 'g', -1, 64),
+		"variant":  q.SysVariant,
+	}
+	if q.DSE != "" {
+		m["dse"] = q.DSE
+	}
+	if q.Counter != nil {
+		m["counter-ops"] = strconv.Itoa(q.Counter.Ops)
+		m["counter-noreturn"] = strconv.FormatBool(q.Counter.NoReturn)
+		m["counter-cells"] = strconv.Itoa(q.Counter.Cells)
+	}
+	if q.Observe {
+		m["observe"] = "true"
+	}
+	if q.ProfileTopK > 0 {
+		m["profile-topk"] = strconv.Itoa(q.ProfileTopK)
+	}
+	return m
+}
+
+// Digest returns the request's canonical content digest.
+func (q Request) Digest() string { return regress.Digest(q.normalize().meta()) }
+
+// String renders the request for logs and error wrapping.
+func (q Request) String() string {
+	name := q.Workload
+	if q.Counter != nil {
+		name = fmt.Sprintf("counter[%dx%d]", q.Threads, q.Counter.Ops)
+	}
+	policy := q.Policy
+	if q.DSE != "" {
+		policy = "dse[" + q.DSE + "]"
+	}
+	s := name + "/" + policy
+	if q.Input != "" {
+		s += "(" + q.Input + ")"
+	}
+	if q.SysVariant != "" && q.SysVariant != "base" {
+		s += "@" + q.SysVariant
+	}
+	return s
+}
+
+// ApplyVariant mutates cfg according to a named system variant: the
+// Fig. 10/11 NoC and memory-latency points, single-parameter ablations
+// (amobuf-N, maxatomics-N, occupancy-N, prefetch-N) and AMT sizings
+// (amt-e<entries>-w<ways>-c<counter>). "" and "base" leave the default.
+func ApplyVariant(name string, cfg *machine.Config) error {
+	switch name {
+	case "", "base":
+	case "noc-1c":
+		cfg.Chi.Mesh.RouteLatency = 0
+		cfg.Chi.Mesh.LinkLatency = 1
+	case "noc-3c":
+		cfg.Chi.Mesh.RouteLatency = 2
+		cfg.Chi.Mesh.LinkLatency = 1
+	case "half-lat":
+		cfg.Chi.Mem.Latency /= 2
+	case "double-lat":
+		cfg.Chi.Mem.Latency *= 2
+	default:
+		var n int
+		switch {
+		case scanInt(name, "amobuf-%d", &n):
+			cfg.Chi.AMOBufEntries = n
+		case scanInt(name, "maxatomics-%d", &n):
+			cfg.CPU.MaxAtomics = n
+		case scanInt(name, "occupancy-%d", &n):
+			cfg.Chi.FarAMOOccupancy = sim.Tick(n)
+		case scanInt(name, "prefetch-%d", &n):
+			cfg.Chi.PrefetchDegree = n
+		default:
+			// AMT variants: amt-e<entries>-w<ways>-c<counter>.
+			var e, w, c int
+			if _, err := fmt.Sscanf(name, "amt-e%d-w%d-c%d", &e, &w, &c); err != nil {
+				return fmt.Errorf("runner: unknown system variant %q", name)
+			}
+			cfg.AMT = core.AMTConfig{Entries: e, Ways: w, CounterMax: c}
+		}
+	}
+	return nil
+}
+
+// scanInt parses a single-integer variant name.
+func scanInt(name, format string, out *int) bool {
+	_, err := fmt.Sscanf(name, format, out)
+	return err == nil
+}
+
+// dsePolicy resolves a Section IV decision string to its candidate.
+func dsePolicy(decisions string) (*core.Static, error) {
+	for _, p := range core.PracticalDesignSpace() {
+		if core.DecisionString(p) == decisions {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("runner: unknown design-space policy %q", decisions)
+}
+
+// execute simulates one normalized request from scratch: its own machine,
+// its own workload instance, fully deterministic regardless of what other
+// jobs run concurrently.
+func execute(q Request) (*Outcome, error) {
+	cfg := machine.DefaultConfig()
+	if err := ApplyVariant(q.SysVariant, &cfg); err != nil {
+		return nil, err
+	}
+	var bus *obs.Bus
+	var prof *profile.Profiler
+	if q.Observe || q.ProfileTopK > 0 {
+		bus = obs.New(obs.Options{})
+		cfg.Obs = bus
+	}
+	if q.ProfileTopK > 0 {
+		prof = profile.NewProfiler(q.ProfileTopK)
+		bus.AttachContention(prof)
+	}
+
+	var inst *workload.Instance
+	var err error
+	if q.Counter != nil {
+		inst, err = workload.Counter(q.Threads, q.Counter.Ops, q.Counter.NoReturn, q.Counter.Cells)
+	} else {
+		var spec *workload.Spec
+		spec, err = workload.Get(q.Workload)
+		if err == nil {
+			inst, err = spec.Build(workload.Params{
+				Threads: q.Threads,
+				Seed:    q.Seed,
+				Scale:   q.Scale,
+				Input:   q.Input,
+			})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if prof != nil {
+		for _, site := range inst.Sites {
+			bus.RegisterSite(site)
+		}
+	}
+
+	var m *machine.Machine
+	if q.DSE != "" {
+		p, err := dsePolicy(q.DSE)
+		if err != nil {
+			return nil, err
+		}
+		m, err = machine.NewWithPolicy(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cfg.Policy = q.Policy
+		m, err = machine.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	res, err := m.Run(inst.Programs)
+	if err != nil {
+		return nil, err
+	}
+	if err := inst.Validate(m.Sys.Data); err != nil {
+		return nil, fmt.Errorf("validation: %w", err)
+	}
+	out := &Outcome{Result: res}
+	if prof != nil {
+		out.Hot = prof.Report(bus.SiteOf)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dynamo/internal/machine"
+	"dynamo/internal/obs/profile"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Jobs bounds concurrently executing simulations (default GOMAXPROCS).
+	Jobs int
+	// CacheDir, when non-empty, backs the in-memory cache with a
+	// persistent JSON store (one file per request digest). Unusable
+	// entries are evicted and re-simulated; entries from older schema
+	// versions never match.
+	CacheDir string
+	// Log, when non-nil, receives one progress line per completed job.
+	Log io.Writer
+}
+
+// Outcome is a completed job's reports.
+type Outcome struct {
+	Result *machine.Result
+	// Hot is the contention profile, set when the request asked for one.
+	Hot *profile.HotReport
+	// Cached reports that the outcome was loaded from the persistent
+	// store rather than simulated in this process.
+	Cached bool
+}
+
+// Stats counts what the runner did. Saved is the wall-clock the original
+// simulations took for every run served from the persistent store — the
+// time a cold run would have spent simulating.
+type Stats struct {
+	// Submitted counts distinct jobs (post-dedupe); Requests counts every
+	// Submit call.
+	Requests  uint64
+	Submitted uint64
+	// Hits counts submissions answered by the in-memory cache (dedupe);
+	// DiskHits counts jobs answered by the persistent store.
+	Hits     uint64
+	DiskHits uint64
+	// Misses counts jobs that had to simulate; Errors counts failed jobs.
+	Misses uint64
+	Errors uint64
+	// Evictions counts persisted entries dropped as corrupt or outdated.
+	Evictions uint64
+	// Saved is the recorded simulation time of every disk hit.
+	Saved time.Duration
+}
+
+// Simulated returns how many simulations actually executed.
+func (s Stats) Simulated() uint64 { return s.Misses }
+
+// Task is a submitted job's handle.
+type Task struct {
+	req  Request
+	done chan struct{}
+	out  *Outcome
+	err  error
+}
+
+// Wait blocks until the job completes and returns its outcome.
+func (t *Task) Wait() (*Outcome, error) {
+	<-t.done
+	return t.out, t.err
+}
+
+// Runner is the sweep engine. Submissions with equal request digests
+// coalesce into one job; completed jobs stay in memory for the Runner's
+// lifetime and, with a cache directory, persist across processes.
+type Runner struct {
+	opts  Options
+	store *store
+	sem   chan struct{}
+
+	mu    sync.Mutex
+	tasks map[string]*Task
+	order []*Task
+	stats Stats
+}
+
+// New builds a runner.
+func New(opts Options) *Runner {
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts:  opts,
+		store: newStore(opts.CacheDir),
+		sem:   make(chan struct{}, opts.Jobs),
+		tasks: make(map[string]*Task),
+	}
+}
+
+// Jobs returns the worker-pool size.
+func (r *Runner) Jobs() int { return r.opts.Jobs }
+
+// Submit enqueues a request and returns its task, coalescing duplicates:
+// submitting a request whose digest is already known returns the existing
+// task (a memory hit) without spawning work.
+func (r *Runner) Submit(req Request) *Task {
+	req = req.normalize()
+	digest := req.Digest()
+	r.mu.Lock()
+	r.stats.Requests++
+	if t, ok := r.tasks[digest]; ok {
+		r.stats.Hits++
+		r.mu.Unlock()
+		return t
+	}
+	t := &Task{req: req, done: make(chan struct{})}
+	r.tasks[digest] = t
+	r.order = append(r.order, t)
+	r.stats.Submitted++
+	r.mu.Unlock()
+	go r.run(t)
+	return t
+}
+
+// Run submits a request and waits for its outcome.
+func (r *Runner) Run(req Request) (*Outcome, error) {
+	return r.Submit(req).Wait()
+}
+
+// Wait blocks until every job submitted so far has completed and returns
+// the error of the earliest-submitted failed job, if any.
+func (r *Runner) Wait() error {
+	r.mu.Lock()
+	order := make([]*Task, len(r.order))
+	copy(order, r.order)
+	r.mu.Unlock()
+	var first error
+	for _, t := range order {
+		if _, err := t.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Runner) run(t *Task) {
+	defer close(t.done)
+
+	// The persistent store is probed outside the worker pool: hits are
+	// cheap JSON reads and must not queue behind running simulations.
+	out, elapsed, err := r.store.load(t.req)
+	switch {
+	case err == nil:
+		r.mu.Lock()
+		r.stats.DiskHits++
+		r.stats.Saved += elapsed
+		r.mu.Unlock()
+		t.out = out
+		r.logf(t, "cached %s (saved %s)", t.req, elapsed.Round(time.Millisecond))
+		return
+	case errors.Is(err, errEvicted):
+		r.mu.Lock()
+		r.stats.Evictions++
+		r.mu.Unlock()
+	}
+
+	r.sem <- struct{}{}
+	start := time.Now()
+	out, runErr := execute(t.req)
+	elapsed = time.Since(start)
+	<-r.sem
+
+	r.mu.Lock()
+	if runErr != nil {
+		r.stats.Errors++
+	} else {
+		r.stats.Misses++
+	}
+	r.mu.Unlock()
+
+	if runErr != nil {
+		t.err = fmt.Errorf("runner: %s: %w", t.req, runErr)
+		r.logf(t, "failed %s: %v", t.req, runErr)
+		return
+	}
+	t.out = out
+	if err := r.store.save(t.req, out, elapsed); err != nil {
+		// A write failure degrades the cache, not the run.
+		r.logf(t, "cache write failed: %v", err)
+	}
+	r.logf(t, "ran %s: %d cycles (%s)", t.req, out.Result.Cycles, elapsed.Round(time.Millisecond))
+}
+
+func (r *Runner) logf(t *Task, format string, args ...any) {
+	if r.opts.Log == nil {
+		return
+	}
+	r.mu.Lock()
+	done := r.stats.DiskHits + r.stats.Misses + r.stats.Errors
+	total := r.stats.Submitted
+	r.mu.Unlock()
+	fmt.Fprintf(r.opts.Log, "  [%d/%d] "+format+"\n", append([]any{done, total}, args...)...)
+}

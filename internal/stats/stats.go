@@ -156,6 +156,26 @@ func (g *Group) MarshalJSON() ([]byte, error) {
 	return b.Bytes(), nil
 }
 
+// UnmarshalJSON decodes the name-to-value object form produced by
+// MarshalJSON. Counters are inserted in sorted name order (the encoded
+// order), so a decoded group re-encodes byte-identically.
+func (g *Group) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	*g = *NewGroup()
+	for _, n := range names {
+		g.Add(n, m[n])
+	}
+	return nil
+}
+
 // Table formats rows of cells with left-aligned, width-padded columns; the
 // experiment runners use it to print figure data as aligned text.
 type Table struct {

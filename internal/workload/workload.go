@@ -14,6 +14,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -140,11 +141,16 @@ func register(s *Spec) {
 	registry[s.Name] = s
 }
 
+// ErrUnknown reports a workload name absent from the registry. It is
+// re-exported at the package dynamo surface as ErrUnknownWorkload; match
+// with errors.Is.
+var ErrUnknown = errors.New("unknown workload")
+
 // Get returns the named workload.
 func Get(name string) (*Spec, error) {
 	s, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown workload %q", name)
+		return nil, fmt.Errorf("workload: %w %q", ErrUnknown, name)
 	}
 	return s, nil
 }

@@ -1,0 +1,121 @@
+package dynamo
+
+import (
+	"io"
+
+	"dynamo/internal/runner"
+)
+
+// Runner is the public sweep engine: submit many (workload, policy,
+// parameter) runs, and the runner deduplicates identical requests,
+// executes distinct ones concurrently on a bounded worker pool (each run
+// builds its own simulator, so results are deterministic regardless of
+// scheduling), and — with a cache directory — persists results so
+// repeated sweeps simulate nothing.
+//
+//	r := dynamo.NewRunner(dynamo.WithCacheDir("results/cache"))
+//	for _, p := range dynamo.Policies() {
+//		r.Submit(dynamo.SweepRequest{Workload: "histogram", Policy: p})
+//	}
+//	if err := r.Wait(); err != nil { ... }
+//	fmt.Println(r.Stats())
+type Runner struct {
+	r *runner.Runner
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*runner.Options)
+
+// WithJobs bounds concurrently executing simulations (default GOMAXPROCS).
+func WithJobs(n int) RunnerOption {
+	return func(o *runner.Options) { o.Jobs = n }
+}
+
+// WithCacheDir backs the runner's in-memory cache with a persistent JSON
+// store under dir (one file per request digest, written atomically).
+// Corrupt or outdated entries are evicted and re-simulated.
+func WithCacheDir(dir string) RunnerOption {
+	return func(o *runner.Options) { o.CacheDir = dir }
+}
+
+// WithRunnerLog sends one progress line per completed run to w.
+func WithRunnerLog(w io.Writer) RunnerOption {
+	return func(o *runner.Options) { o.Log = w }
+}
+
+// NewRunner builds a sweep runner over the default Table II system.
+func NewRunner(opts ...RunnerOption) *Runner {
+	var o runner.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &Runner{r: runner.New(o)}
+}
+
+// SweepRequest identifies one run in a sweep. The zero value of each
+// field selects the usual default (policy "all-near", 32 threads, seed 1,
+// scale 1.0, default input, base system). Requests with equal effective
+// parameters are the same job and simulate at most once.
+type SweepRequest struct {
+	// Workload is a Table III workload name (see Workloads).
+	Workload string
+	// Policy is a placement policy name (see Policies).
+	Policy string
+	// Input selects a workload input variant.
+	Input   string
+	Threads int
+	Seed    int64
+	Scale   float64
+	// Variant names a non-default system configuration — the Fig. 10/11
+	// study points such as "noc-1c", "double-lat" or "amt-e64-w4-c32".
+	Variant string
+}
+
+func (q SweepRequest) request() runner.Request {
+	return runner.Request{
+		Workload:   q.Workload,
+		Policy:     q.Policy,
+		Input:      q.Input,
+		Threads:    q.Threads,
+		Seed:       q.Seed,
+		Scale:      q.Scale,
+		SysVariant: q.Variant,
+	}
+}
+
+// RunnerStats counts what a Runner did: in-memory and persistent cache
+// hits, misses (simulations executed), evictions of unusable persisted
+// entries, and the wall-clock that cache hits saved.
+type RunnerStats = runner.Stats
+
+// RunHandle is a submitted run's handle.
+type RunHandle struct {
+	t *runner.Task
+}
+
+// Result blocks until the run completes and returns its metrics.
+func (h *RunHandle) Result() (*Result, error) {
+	out, err := h.t.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// Submit enqueues a run and returns immediately; duplicate requests
+// coalesce into one job.
+func (r *Runner) Submit(req SweepRequest) *RunHandle {
+	return &RunHandle{t: r.r.Submit(req.request())}
+}
+
+// Run submits a request and waits for its result.
+func (r *Runner) Run(req SweepRequest) (*Result, error) {
+	return (&RunHandle{t: r.r.Submit(req.request())}).Result()
+}
+
+// Wait blocks until every submitted run has completed and returns the
+// error of the earliest-submitted failed run, if any.
+func (r *Runner) Wait() error { return r.r.Wait() }
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() RunnerStats { return r.r.Stats() }

@@ -1,0 +1,178 @@
+package dynamo
+
+import (
+	"fmt"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/memory"
+	"dynamo/internal/trace"
+	"dynamo/internal/workload"
+)
+
+// Sentinel errors for the public surface; match with errors.Is. Every
+// constructor and run entry point wraps these instead of bare strings.
+var (
+	// ErrUnknownPolicy reports a placement-policy name that is not
+	// registered (see Policies).
+	ErrUnknownPolicy = core.ErrUnknownPolicy
+	// ErrUnknownWorkload reports a workload name that is not registered
+	// (see Workloads).
+	ErrUnknownWorkload = workload.ErrUnknown
+	// ErrTimeout reports a run that exceeded its simulated event budget
+	// (Config.MaxEvents).
+	ErrTimeout = machine.ErrTimeout
+)
+
+// Session is a configured simulation context: one system configuration
+// plus run parameters, built once with New and reused across runs. Runs
+// on the same Session are independent — each builds its own machine — so
+// a Session is safe for concurrent Run calls as long as the attached
+// collectors (Obs, Profile, Interval, Trace) are not shared.
+type Session struct {
+	cfg  Config
+	opts Options
+}
+
+// Option configures a Session.
+type Option func(*Session)
+
+// WithPolicy selects the AMO placement policy (default "all-near", the
+// paper's baseline; see Policies).
+func WithPolicy(name string) Option {
+	return func(s *Session) { s.opts.Policy = name }
+}
+
+// WithThreads sets the worker-thread count (default: the core count).
+func WithThreads(n int) Option {
+	return func(s *Session) { s.opts.Threads = n }
+}
+
+// WithSeed sets the seed driving all pseudo-random choices (default 1).
+func WithSeed(seed int64) Option {
+	return func(s *Session) { s.opts.Seed = seed }
+}
+
+// WithScale multiplies the default problem size (default 1.0).
+func WithScale(scale float64) Option {
+	return func(s *Session) { s.opts.Scale = scale }
+}
+
+// WithInput selects a workload input variant (default: the workload's
+// first registered input).
+func WithInput(input string) Option {
+	return func(s *Session) { s.opts.Input = input }
+}
+
+// WithTrace records every executed thread operation to w.
+func WithTrace(w *trace.Writer) Option {
+	return func(s *Session) { s.opts.Trace = w }
+}
+
+// WithObs attaches an observability bus; the run's digest lands in
+// Result.Obs.
+func WithObs(bus *ObsBus) Option {
+	return func(s *Session) { s.opts.Obs = bus }
+}
+
+// WithProfile attaches the per-cacheline contention profiler (requires
+// WithObs).
+func WithProfile(p *Profiler) Option {
+	return func(s *Session) { s.opts.Profile = p }
+}
+
+// WithInterval attaches the interval-telemetry recorder.
+func WithInterval(rec *IntervalRecorder) Option {
+	return func(s *Session) { s.opts.Interval = rec }
+}
+
+// WithoutValidation disables the post-run functional check (benchmarks).
+func WithoutValidation() Option {
+	return func(s *Session) { s.opts.SkipValidation = true }
+}
+
+// New builds a Session on cfg. The policy name and thread count are
+// validated eagerly: an unregistered policy returns ErrUnknownPolicy
+// here, not at the first Run.
+func New(cfg Config, options ...Option) (*Session, error) {
+	s := &Session{cfg: cfg}
+	for _, o := range options {
+		o(s)
+	}
+	s.opts.Config = &s.cfg
+	filled, conf, err := s.opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.New(conf.Policy, conf.Chi.Cores, conf.AMT); err != nil {
+		return nil, err
+	}
+	s.opts = filled
+	s.cfg = conf
+	s.opts.Config = &s.cfg
+	return s, nil
+}
+
+// Run executes the named workload and returns its metrics. The workload's
+// functional result is validated unless the Session was built with
+// WithoutValidation.
+func (s *Session) Run(workloadName string) (*Result, error) {
+	spec, err := workload.Get(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: s.opts.Threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+		Input:   s.opts.Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runInstance(s.cfg, inst, s.opts)
+}
+
+// RunCounter executes the Fig. 1 shared-counter microbenchmark: the
+// Session's threads each performing ops atomic increments, with
+// AtomicStore (noReturn) or AtomicLoad semantics.
+func (s *Session) RunCounter(ops int, noReturn bool) (*Result, error) {
+	inst, err := workload.Counter(s.opts.Threads, ops, noReturn, 8)
+	if err != nil {
+		return nil, err
+	}
+	return runInstance(s.cfg, inst, s.opts)
+}
+
+// RunPrograms executes custom programs (at most one per core) built
+// against the Thread API, honouring the Session's trace and
+// observability attachments, and returns the metrics plus a read
+// function for inspecting final memory contents. Custom programs carry
+// no validator, so no functional check runs.
+func (s *Session) RunPrograms(programs []Program) (*Result, func(addr uint64) uint64, error) {
+	cfg := s.cfg
+	opts := s.opts
+	if opts.Trace != nil {
+		observe, flush := trace.Recorder(opts.Trace)
+		cfg.CPU.Observe = observe
+		defer flush()
+	}
+	cfg.Obs = opts.Obs
+	cfg.Interval = opts.Interval
+	if opts.Profile != nil {
+		if opts.Obs == nil {
+			return nil, nil, fmt.Errorf("dynamo: WithProfile requires WithObs")
+		}
+		opts.Obs.AttachContention(opts.Profile)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Run(programs)
+	if err != nil {
+		return nil, nil, err
+	}
+	read := func(addr uint64) uint64 { return m.Sys.Data.Load(memory.Addr(addr)) }
+	return res, read, nil
+}
