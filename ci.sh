@@ -28,6 +28,16 @@ go test ./...
 # must simulate nothing.
 go test -race -run TestParallelSerialDeterminism ./internal/experiments
 
+# Robustness gate: invariant-checked runs through the CLI (sanitizer on,
+# deterministic chaos on) must finish clean, and the committed chaos
+# fuzz corpus must hold the metamorphic property.
+for wl in histogram tc spmv; do
+	echo "ci: invariant-checked run: $wl"
+	go run ./cmd/dynamosim -workload "$wl" -threads 4 -scale 0.1 \
+		-check -chaos-seed 1 -chaos-level 2 >/dev/null
+done
+go test -run Fuzz ./internal/chaos
+
 # Baseline gate: workload x policy smoke set on the small 4-core system.
 # One snapshot per pair; zero tolerance — the simulator is deterministic,
 # so any drift is a real behaviour change.

@@ -7,6 +7,8 @@
 //	dynamosim -workload histogram -policy dynamo-reuse-pn -hist -timeline t.json
 //	dynamosim -workload histogram -hotlines 16
 //	dynamosim -workload histogram -interval 50000 -interval-csv intervals.csv
+//	dynamosim -workload histogram -check
+//	dynamosim -workload histogram -check -chaos-seed 7 -chaos-level 2
 //	dynamosim -workload histogram -json
 //	dynamosim -list
 package main
@@ -38,6 +40,9 @@ func main() {
 	intervalJSON := flag.String("interval-json", "", "write the interval series as JSON to this file")
 	intervalCSV := flag.String("interval-csv", "", "write the interval series as CSV to this file")
 	timeline := flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+	checkOn := cliflags.Check(flag.CommandLine)
+	chaosSeed := cliflags.ChaosSeed(flag.CommandLine)
+	chaosLevel := cliflags.ChaosLevel(flag.CommandLine)
 	jsonOut := cliflags.JSON(flag.CommandLine)
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
@@ -82,6 +87,12 @@ func main() {
 		dynamo.WithSeed(*seed),
 		dynamo.WithScale(*scale),
 		dynamo.WithInput(*input),
+	}
+	if *checkOn {
+		opts = append(opts, dynamo.WithCheck())
+	}
+	if *chaosSeed != 0 || *chaosLevel != 0 {
+		opts = append(opts, dynamo.WithChaos(*chaosSeed, *chaosLevel))
 	}
 	var bus *dynamo.ObsBus
 	if *hist || *timeline != "" || *jsonOut || *hotlines > 0 || *interval > 0 {
@@ -180,6 +191,10 @@ func main() {
 		100*res.Energy.Caches/res.Energy.Total(),
 		100*res.Energy.NoC/res.Energy.Total(),
 		100*res.Energy.Memory/res.Energy.Total())
+	if res.Check != nil {
+		fmt.Printf("sanitizer       clean (%d periodic audits, %d release audits, max %d MSHRs, max %d blocked lines)\n",
+			res.Check.Audits, res.Check.ReleaseAudits, res.Check.MaxMSHRs, res.Check.MaxBusyLines)
+	}
 	if prof != nil {
 		fmt.Println("\ncontention profile (hottest AMO lines):")
 		fmt.Print(dynamo.ContentionReport(prof, bus).Table())

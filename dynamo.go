@@ -25,6 +25,8 @@ package dynamo
 import (
 	"fmt"
 
+	"dynamo/internal/chaos"
+	"dynamo/internal/check"
 	"dynamo/internal/core"
 	"dynamo/internal/cpu"
 	"dynamo/internal/machine"
@@ -92,6 +94,11 @@ type ObsBus = obs.Bus
 // ObsReport is the deterministic digest of a run's observability data,
 // attached to Result.Obs when a bus was passed via Options.Obs.
 type ObsReport = obs.Report
+
+// CheckReport summarizes a sanitized run's audit counters and occupancy
+// maxima, attached to Result.Check when the sanitizer was enabled
+// (WithCheck). A report is always Clean: a violated run errors instead.
+type CheckReport = check.Report
 
 // ObsOption configures an observability bus built with NewObs.
 type ObsOption func(*obs.Options)
@@ -209,6 +216,13 @@ type Options struct {
 	// Class-latency and counter deltas are only populated when Obs is also
 	// set; traffic counters (NoC, HBM, instructions) always are.
 	Interval *profile.Recorder
+	// Check attaches the protocol invariant sanitizer (see WithCheck).
+	Check bool
+	// ChaosSeed and ChaosLevel attach the deterministic fault injector
+	// (see WithChaos). Setting one defaults the other to 1; both zero
+	// leave the run unperturbed.
+	ChaosSeed  int64
+	ChaosLevel int
 }
 
 func (o Options) fill() (Options, Config, error) {
@@ -228,6 +242,15 @@ func (o Options) fill() (Options, Config, error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ChaosSeed != 0 && o.ChaosLevel == 0 {
+		o.ChaosLevel = 1
+	}
+	if o.ChaosLevel > 0 && o.ChaosSeed == 0 {
+		o.ChaosSeed = 1
+	}
+	if o.ChaosLevel < 0 || o.ChaosLevel > chaos.MaxLevel {
+		return o, cfg, fmt.Errorf("dynamo: chaos level %d out of range 0..%d", o.ChaosLevel, chaos.MaxLevel)
 	}
 	return o, cfg, nil
 }
@@ -276,6 +299,21 @@ func RunCounter(policy string, threads, ops int, noReturn bool, cfg *Config) (*R
 	return runInstance(conf, inst, opts)
 }
 
+// attachChaos wires the fault injector selected by opts into a built
+// machine (a no-op when chaos is off). Must run between machine.New and
+// Run so every perturbation hook is in place before the first event.
+func attachChaos(m *machine.Machine, opts Options) error {
+	if opts.ChaosLevel == 0 {
+		return nil
+	}
+	inj, err := chaos.New(opts.ChaosSeed, opts.ChaosLevel)
+	if err != nil {
+		return err
+	}
+	inj.Attach(m)
+	return nil
+}
+
 func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, error) {
 	if opts.Trace != nil {
 		observe, flush := trace.Recorder(opts.Trace)
@@ -284,6 +322,9 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 	}
 	cfg.Obs = opts.Obs
 	cfg.Interval = opts.Interval
+	if opts.Check {
+		cfg.Check = &check.Config{}
+	}
 	if opts.Profile != nil {
 		if opts.Obs == nil {
 			return nil, fmt.Errorf("dynamo: Options.Profile requires Options.Obs")
@@ -295,6 +336,9 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := attachChaos(m, opts); err != nil {
 		return nil, err
 	}
 	if inst.Setup != nil {

@@ -1,0 +1,367 @@
+// Package check is the runtime protocol-invariant sanitizer for the
+// coherence substrate. It defines the structured Violation error every
+// invariant failure is reported through (replacing the bare panics the
+// protocol used to die with), a bounded Trail of recent protocol events
+// that gives a violation its context, and a Checker that tracks
+// occupancy maxima and audit counters for the end-of-run report.
+//
+// The audit walks themselves live in internal/chi (they need access to
+// the RN cache arrays and HN directories); this package owns the
+// vocabulary — what a violation is, which bounds apply, what the report
+// looks like — so the machine, the runner and the public facade can
+// consume sanitizer results without importing the protocol internals.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dynamo/internal/memory"
+	"dynamo/internal/obs"
+	"dynamo/internal/sim"
+)
+
+// ErrViolation is the sentinel every Violation unwraps to; match with
+// errors.Is to distinguish protocol-invariant failures from timeouts and
+// configuration errors.
+var ErrViolation = errors.New("protocol invariant violated")
+
+// Kind classifies a violation.
+type Kind uint8
+
+const (
+	// KindProtocol is an impossible protocol transition — a state the
+	// flows can never legally reach (the rerouted panic sites).
+	KindProtocol Kind = iota
+	// KindSWMR is a broken single-writer/multiple-reader invariant: two
+	// unique owners, a unique owner coexisting with other copies, or two
+	// SharedDirty owners of one line.
+	KindSWMR
+	// KindDirectory is a directory/cache disagreement on a line with no
+	// transaction in flight.
+	KindDirectory
+	// KindOccupancy is a structural occupancy bound exceeded (runaway
+	// MSHR allocation, unbounded HN transaction-table growth).
+	KindOccupancy
+	// KindLeak is an end-of-run resource leak: open observability
+	// transactions, undrained MSHRs, or lines still blocked at a home
+	// node after the event queue emptied.
+	KindLeak
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindProtocol:
+		return "protocol"
+	case KindSWMR:
+		return "swmr"
+	case KindDirectory:
+		return "directory"
+	case KindOccupancy:
+		return "occupancy"
+	case KindLeak:
+		return "leak"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Violation is a structured protocol-invariant failure: what broke, where
+// (line, core, home-node slice, observed transaction), when, and the
+// recent protocol events leading up to it. It is an error and unwraps to
+// ErrViolation.
+type Violation struct {
+	Kind Kind
+	// Time is the simulated cycle the violation was detected.
+	Time sim.Tick
+	// Line is the cache line involved (meaningful when HasLine).
+	Line    memory.Line
+	HasLine bool
+	// Core is the RN index involved, -1 when not applicable.
+	Core int
+	// HN is the home-node slice index involved, -1 when not applicable.
+	HN int
+	// Txn is the observed transaction, 0 when untracked.
+	Txn obs.TxnID
+	// Msg describes the specific failure.
+	Msg string
+	// Trail holds recent protocol events (oldest first) when a Trail was
+	// attached to the run.
+	Trail []string
+}
+
+// Violatef builds a violation at the given time with a formatted message.
+// Location fields default to "not applicable"; callers fill the ones they
+// know.
+func Violatef(kind Kind, now sim.Tick, format string, args ...any) *Violation {
+	return &Violation{Kind: kind, Time: now, Core: -1, HN: -1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AtLine records the cache line involved.
+func (v *Violation) AtLine(line memory.Line) *Violation {
+	v.Line, v.HasLine = line, true
+	return v
+}
+
+// AtCore records the RN involved.
+func (v *Violation) AtCore(core int) *Violation { v.Core = core; return v }
+
+// AtHN records the home-node slice involved.
+func (v *Violation) AtHN(hn int) *Violation { v.HN = hn; return v }
+
+// Error renders the violation: one summary line plus the recent-event
+// trail, if one was captured.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %s violation at cycle %d", v.Kind, v.Time)
+	var loc []string
+	if v.HasLine {
+		loc = append(loc, fmt.Sprintf("line %#x", uint64(v.Line)))
+	}
+	if v.Core >= 0 {
+		loc = append(loc, fmt.Sprintf("core %d", v.Core))
+	}
+	if v.HN >= 0 {
+		loc = append(loc, fmt.Sprintf("hn %d", v.HN))
+	}
+	if v.Txn != 0 {
+		loc = append(loc, fmt.Sprintf("txn %d", v.Txn))
+	}
+	if len(loc) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(loc, ", "))
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Msg)
+	if len(v.Trail) > 0 {
+		b.WriteString("\nrecent protocol events (oldest first):")
+		for _, ev := range v.Trail {
+			b.WriteString("\n  ")
+			b.WriteString(ev)
+		}
+	}
+	return b.String()
+}
+
+// Unwrap makes errors.Is(v, ErrViolation) hold.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+// LeakViolation summarizes still-open observability transactions after the
+// event queue drained, extending the Bus.Leaks audit into a structured
+// violation.
+func LeakViolation(now sim.Tick, leaks []obs.Leak) *Violation {
+	const show = 8
+	var parts []string
+	for i, l := range leaks {
+		if i == show {
+			parts = append(parts, fmt.Sprintf("... %d more", len(leaks)-show))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("txn %d (%s, begun at %d)", l.ID, l.Class, l.Begin))
+	}
+	return Violatef(KindLeak, now, "%d observability transactions never ended: %s",
+		len(leaks), strings.Join(parts, ", "))
+}
+
+// Trail is a bounded ring of recent protocol-event descriptions. The
+// coherence substrate appends to it (when one is attached) at transaction
+// receive, release, fill and writeback points; a violation carries the
+// ring's contents as its context. The zero value is not usable; construct
+// with NewTrail.
+type Trail struct {
+	buf  []string
+	next int
+	full bool
+}
+
+// DefaultTrailDepth is how many recent events a trail keeps by default.
+const DefaultTrailDepth = 32
+
+// NewTrail returns a trail keeping the last depth events (0 selects
+// DefaultTrailDepth).
+func NewTrail(depth int) *Trail {
+	if depth <= 0 {
+		depth = DefaultTrailDepth
+	}
+	return &Trail{buf: make([]string, depth)}
+}
+
+// Addf appends one event, stamped with the simulated time.
+func (t *Trail) Addf(now sim.Tick, format string, args ...any) {
+	t.buf[t.next] = fmt.Sprintf("t=%-8d %s", now, fmt.Sprintf(format, args...))
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Recent returns the recorded events, oldest first.
+func (t *Trail) Recent() []string {
+	if t == nil {
+		return nil
+	}
+	var out []string
+	if t.full {
+		out = append(out, t.buf[t.next:]...)
+	}
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Config tunes the sanitizer. The zero value selects every default, so
+// enabling checking is `cfg.Check = &check.Config{}`.
+type Config struct {
+	// Interval is the number of engine events between full
+	// coherence/directory audits. 0 selects DefaultInterval.
+	Interval uint64
+	// MaxMSHRs bounds outstanding fill transactions per RN (0 selects
+	// DefaultMaxMSHRs). The cpu model bounds genuine outstanding requests
+	// far below this; exceeding it means fills are leaking.
+	MaxMSHRs int
+	// MaxBusyLines bounds concurrently blocked lines per HN slice (0
+	// selects DefaultMaxBusyLines).
+	MaxBusyLines int
+	// TrailDepth is the recent-event context depth (0 selects
+	// DefaultTrailDepth).
+	TrailDepth int
+}
+
+// Sanitizer defaults.
+const (
+	DefaultInterval     = 250_000
+	DefaultMaxMSHRs     = 64
+	DefaultMaxBusyLines = 512
+)
+
+// fill returns cfg with defaults applied.
+func (c Config) fill() Config {
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.MaxMSHRs == 0 {
+		c.MaxMSHRs = DefaultMaxMSHRs
+	}
+	if c.MaxBusyLines == 0 {
+		c.MaxBusyLines = DefaultMaxBusyLines
+	}
+	if c.TrailDepth == 0 {
+		c.TrailDepth = DefaultTrailDepth
+	}
+	return c
+}
+
+// Report summarizes what the sanitizer did during a clean run. It is
+// attached to the run result (and so to -json output) when checking was
+// enabled; a violated run returns the Violation as its error instead.
+type Report struct {
+	// Audits counts full coherence/directory audits (periodic plus the
+	// final end-of-run pass).
+	Audits uint64 `json:"audits"`
+	// ReleaseAudits counts single-line audits run when a home node
+	// released a line to idle.
+	ReleaseAudits uint64 `json:"release_audits"`
+	// MaxMSHRs is the highest outstanding-fill count observed at any RN.
+	MaxMSHRs int `json:"max_mshrs"`
+	// MaxBusyLines is the highest blocked-line count observed at any HN.
+	MaxBusyLines int `json:"max_busy_lines"`
+	// MaxLineQueue is the longest per-line transaction queue observed at
+	// any HN (CHI TBE blocking depth).
+	MaxLineQueue int `json:"max_line_queue"`
+	// Clean reports that no invariant was violated (always true on a
+	// run that returned a result).
+	Clean bool `json:"clean"`
+}
+
+// Checker accumulates sanitizer state for one run: configured bounds,
+// observed occupancy maxima and audit counters. The coherence substrate
+// calls the Observe methods from its hot paths; the machine drives the
+// periodic audits. All methods are nil-safe so an unchecked run costs one
+// nil comparison per call site.
+type Checker struct {
+	cfg Config
+	rep Report
+}
+
+// New builds a checker from cfg with defaults applied.
+func New(cfg Config) *Checker {
+	return &Checker{cfg: cfg.fill()}
+}
+
+// Interval returns the configured audit interval in events, or 0 on a nil
+// checker (no periodic audits).
+func (c *Checker) Interval() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Interval
+}
+
+// TrailDepth returns the configured trail depth.
+func (c *Checker) TrailDepth() int {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.TrailDepth
+}
+
+// CountAudit records one full audit pass.
+func (c *Checker) CountAudit() {
+	if c != nil {
+		c.rep.Audits++
+	}
+}
+
+// CountReleaseAudit records one release-time single-line audit.
+func (c *Checker) CountReleaseAudit() {
+	if c != nil {
+		c.rep.ReleaseAudits++
+	}
+}
+
+// ObserveMSHRs records an RN's outstanding-fill count and returns a
+// violation if it exceeds the configured bound.
+func (c *Checker) ObserveMSHRs(now sim.Tick, core, n int) *Violation {
+	if c == nil {
+		return nil
+	}
+	if n > c.rep.MaxMSHRs {
+		c.rep.MaxMSHRs = n
+	}
+	if n > c.cfg.MaxMSHRs {
+		return Violatef(KindOccupancy, now,
+			"%d outstanding fills exceed the %d-entry MSHR bound", n, c.cfg.MaxMSHRs).AtCore(core)
+	}
+	return nil
+}
+
+// ObserveBusy records an HN's blocked-line count and the queue depth of
+// the line just blocked, and returns a violation if the line bound is
+// exceeded.
+func (c *Checker) ObserveBusy(now sim.Tick, hn, lines, queue int) *Violation {
+	if c == nil {
+		return nil
+	}
+	if lines > c.rep.MaxBusyLines {
+		c.rep.MaxBusyLines = lines
+	}
+	if queue > c.rep.MaxLineQueue {
+		c.rep.MaxLineQueue = queue
+	}
+	if lines > c.cfg.MaxBusyLines {
+		return Violatef(KindOccupancy, now,
+			"%d blocked lines exceed the %d-line transaction-table bound", lines, c.cfg.MaxBusyLines).AtHN(hn)
+	}
+	return nil
+}
+
+// Report snapshots the sanitizer's counters. Clean is set: a run that got
+// far enough to collect a report had no violation.
+func (c *Checker) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	r := c.rep
+	r.Clean = true
+	return &r
+}

@@ -1,0 +1,148 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dynamo/internal/obs"
+	"dynamo/internal/sim"
+)
+
+func TestViolationError(t *testing.T) {
+	v := Violatef(KindSWMR, 123, "two unique owners of one line").AtLine(0x40).AtCore(2).AtHN(1)
+	v.Txn = 7
+	v.Trail = []string{"t=100 req", "t=110 snoop"}
+	msg := v.Error()
+	for _, want := range []string{
+		"swmr violation at cycle 123",
+		"line 0x40", "core 2", "hn 1", "txn 7",
+		"two unique owners",
+		"t=100 req", "t=110 snoop",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() missing %q in:\n%s", want, msg)
+		}
+	}
+	if !errors.Is(v, ErrViolation) {
+		t.Error("Violation does not unwrap to ErrViolation")
+	}
+}
+
+func TestViolationOmitsUnknownLocations(t *testing.T) {
+	msg := Violatef(KindProtocol, 5, "boom").Error()
+	for _, bad := range []string{"core", "hn", "txn", "line"} {
+		if strings.Contains(msg, bad) {
+			t.Errorf("Error() mentions unset location %q: %s", bad, msg)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindProtocol:  "protocol",
+		KindSWMR:      "swmr",
+		KindDirectory: "directory",
+		KindOccupancy: "occupancy",
+		KindLeak:      "leak",
+		Kind(99):      "Kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestTrailRing(t *testing.T) {
+	tr := NewTrail(3)
+	if got := tr.Recent(); len(got) != 0 {
+		t.Fatalf("empty trail Recent() = %v", got)
+	}
+	for i := 1; i <= 5; i++ {
+		tr.Addf(sim.Tick(10*i), "ev%d", i)
+	}
+	got := tr.Recent()
+	if len(got) != 3 {
+		t.Fatalf("Recent() len = %d, want 3: %v", len(got), got)
+	}
+	for i, want := range []string{"ev3", "ev4", "ev5"} {
+		if !strings.Contains(got[i], want) {
+			t.Errorf("Recent()[%d] = %q, want to contain %q", i, got[i], want)
+		}
+	}
+	var nilTrail *Trail
+	if nilTrail.Recent() != nil {
+		t.Error("nil trail Recent() not nil")
+	}
+}
+
+func TestCheckerNilSafe(t *testing.T) {
+	var c *Checker
+	if c.Interval() != 0 || c.TrailDepth() != 0 {
+		t.Error("nil checker reports nonzero config")
+	}
+	c.CountAudit()
+	c.CountReleaseAudit()
+	if v := c.ObserveMSHRs(1, 0, 1000); v != nil {
+		t.Errorf("nil checker ObserveMSHRs = %v", v)
+	}
+	if v := c.ObserveBusy(1, 0, 1000, 1000); v != nil {
+		t.Errorf("nil checker ObserveBusy = %v", v)
+	}
+	if c.Report() != nil {
+		t.Error("nil checker Report not nil")
+	}
+}
+
+func TestCheckerDefaultsAndBounds(t *testing.T) {
+	c := New(Config{})
+	if c.Interval() != DefaultInterval {
+		t.Errorf("Interval = %d, want %d", c.Interval(), DefaultInterval)
+	}
+	if c.TrailDepth() != DefaultTrailDepth {
+		t.Errorf("TrailDepth = %d, want %d", c.TrailDepth(), DefaultTrailDepth)
+	}
+	if v := c.ObserveMSHRs(10, 3, DefaultMaxMSHRs); v != nil {
+		t.Errorf("at-bound MSHRs flagged: %v", v)
+	}
+	v := c.ObserveMSHRs(11, 3, DefaultMaxMSHRs+1)
+	if v == nil {
+		t.Fatal("over-bound MSHRs not flagged")
+	}
+	if v.Kind != KindOccupancy || v.Core != 3 {
+		t.Errorf("violation = kind %v core %d, want occupancy core 3", v.Kind, v.Core)
+	}
+	if v2 := c.ObserveBusy(12, 1, DefaultMaxBusyLines+5, 9); v2 == nil || v2.HN != 1 {
+		t.Errorf("over-bound busy lines: %v", v2)
+	}
+	rep := c.Report()
+	if rep.MaxMSHRs != DefaultMaxMSHRs+1 || rep.MaxBusyLines != DefaultMaxBusyLines+5 || rep.MaxLineQueue != 9 {
+		t.Errorf("report maxima wrong: %+v", rep)
+	}
+	if !rep.Clean {
+		t.Error("report not marked clean")
+	}
+}
+
+func TestLeakViolation(t *testing.T) {
+	var leaks []obs.Leak
+	for i := 0; i < 12; i++ {
+		leaks = append(leaks, obs.Leak{ID: obs.TxnID(i + 1), Class: obs.ClassAMO, Begin: 100})
+	}
+	v := LeakViolation(5000, leaks)
+	if v.Kind != KindLeak {
+		t.Errorf("kind = %v, want leak", v.Kind)
+	}
+	msg := v.Error()
+	if !strings.Contains(msg, "12 observability transactions") {
+		t.Errorf("missing count in %q", msg)
+	}
+	if !strings.Contains(msg, "... 4 more") {
+		t.Errorf("missing truncation marker in %q", msg)
+	}
+	if !strings.Contains(msg, fmt.Sprintf("txn %d", leaks[0].ID)) {
+		t.Errorf("missing first leak in %q", msg)
+	}
+}

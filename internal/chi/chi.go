@@ -16,6 +16,7 @@ package chi
 import (
 	"fmt"
 
+	"dynamo/internal/check"
 	"dynamo/internal/hbm"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
@@ -150,6 +151,17 @@ type System struct {
 	Obs    *obs.Bus
 	RNs    []*RN
 	HNs    []*HN
+
+	// Check is the attached sanitizer (nil when checking is off); Trail
+	// records recent protocol events for violation context; Violation
+	// holds the first invariant failure, after which the engine stops.
+	// See sanitize.go and package check.
+	Check     *check.Checker
+	Trail     *check.Trail
+	Violation *check.Violation
+	// snoopJitter, when non-nil, adds chaos delay to each snoop response
+	// (see SetSnoopJitter).
+	snoopJitter func(core int, line memory.Line) sim.Tick
 }
 
 // NewSystem wires cores, home nodes, interconnect and memory. RNs occupy
@@ -211,8 +223,15 @@ func (s *System) HomeOf(line memory.Line) *HN {
 // send delivers a message of the given flit count between mesh nodes and
 // runs fn on arrival.
 func (s *System) send(from, to, flits int, fn func()) {
+	s.sendDelayed(from, to, flits, 0, fn)
+}
+
+// sendDelayed is send with extra delay added after the mesh arrival time;
+// the chaos injector uses it to reorder snoop responses without occupying
+// mesh links for the extra cycles.
+func (s *System) sendDelayed(from, to, flits int, extra sim.Tick, fn func()) {
 	arrival := s.Mesh.Send(from, to, flits, s.Engine.Now())
-	s.Engine.At(arrival, fn)
+	s.Engine.At(arrival+extra, fn)
 }
 
 // CheckCoherence verifies the global single-writer/multi-reader invariant:

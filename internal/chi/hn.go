@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"dynamo/internal/cache"
+	"dynamo/internal/check"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
@@ -111,25 +112,37 @@ func (hn *HN) Directory(line memory.Line) (owner int, sharers uint64) {
 // opens at arrival time, so it includes any wait for the line's TBE
 // (per-line transaction serialization) on top of the pipeline latency.
 func (hn *HN) receive(t *txn) {
-	hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseHNDir)
+	now := hn.sys.Engine.Now()
+	hn.sys.Obs.Phase(t.obsID, now, obs.PhaseHNDir)
+	hn.sys.tracef("hn%d recv %s line %#x from core %d", hn.idx, t.kind, t.line, t.requestor)
 	start := func() { hn.start(t) }
 	if _, active := hn.busy[t.line]; active {
 		hn.busy[t.line] = append(hn.busy[t.line], start)
+		hn.sys.Fail(hn.sys.Check.ObserveBusy(now, hn.idx, len(hn.busy), len(hn.busy[t.line])))
 		return
 	}
 	hn.busy[t.line] = nil
+	hn.sys.Fail(hn.sys.Check.ObserveBusy(now, hn.idx, len(hn.busy), 0))
 	start()
 }
 
 // release finishes the active transaction on a line and starts the next
-// queued one, if any.
+// queued one, if any. When a sanitizer is attached and the line goes idle,
+// the line is audited: with no transaction left in flight the caches and
+// directory must agree on it.
 func (hn *HN) release(line memory.Line) {
 	q, active := hn.busy[line]
 	if !active {
-		panic(fmt.Sprintf("chi: release of idle line %#x at HN %d", line, hn.idx))
+		hn.sys.Fail(check.Violatef(check.KindProtocol, hn.sys.Engine.Now(),
+			"release of an idle line: no transaction is active").AtLine(line).AtHN(hn.idx))
+		return
 	}
 	if len(q) == 0 {
 		delete(hn.busy, line)
+		if hn.sys.Check != nil {
+			hn.sys.Check.CountReleaseAudit()
+			hn.sys.Fail(hn.sys.auditLine(line))
+		}
 		return
 	}
 	hn.busy[line] = q[1:]
@@ -204,7 +217,11 @@ func (hn *HN) snoopAll(parent obs.TxnID, targets uint64, line memory.Line, inval
 					hn.Stats.DirtyForwards++
 					hn.sys.Obs.ProfileSnoopForward(line.Base())
 				}
-				hn.sys.send(rn.node, hn.node, flits, func() {
+				var jitter sim.Tick
+				if hn.sys.snoopJitter != nil {
+					jitter = hn.sys.snoopJitter(core, line)
+				}
+				hn.sys.sendDelayed(rn.node, hn.node, flits, jitter, func() {
 					hn.sys.Obs.EndTxn(sid, hn.sys.Engine.Now())
 					if hadCopy {
 						present |= 1 << uint(core)
@@ -273,6 +290,7 @@ func (hn *HN) respond(t *txn, granted memory.State, withData bool) {
 		flits = noc.DataFlits
 	}
 	hn.sys.Obs.Phase(t.obsID, hn.sys.Engine.Now(), obs.PhaseNoCResp)
+	hn.sys.tracef("hn%d respond line %#x -> core %d %v", hn.idx, t.line, t.requestor, granted)
 	hn.sys.send(hn.node, rn.node, flits, func() {
 		rn.fillArrived(t.line, granted)
 		hn.sys.send(rn.node, hn.node, noc.ControlFlits, func() { hn.release(t.line) })

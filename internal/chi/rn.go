@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynamo/internal/cache"
+	"dynamo/internal/check"
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
@@ -323,6 +324,7 @@ func (rn *RN) requestUnique(req *Request, line memory.Line, st memory.State, byA
 // node. heldState is the current private copy's state (Invalid on a miss).
 func (rn *RN) startFill(req *Request, line memory.Line, byAMO bool, kind txnKind, heldState memory.State) {
 	rn.mshrs[line] = &mshr{byAMO: byAMO, reqs: []*Request{req}}
+	rn.sys.Fail(rn.sys.Check.ObserveMSHRs(rn.sys.Engine.Now(), rn.id, len(rn.mshrs)))
 	hn := rn.sys.HomeOf(line)
 	rn.sys.Obs.Phase(req.obs, rn.sys.Engine.Now(), obs.PhaseNoCReq)
 	msg := &txn{
@@ -393,8 +395,11 @@ func (rn *RN) issueFarAMO(req *Request, line memory.Line) {
 func (rn *RN) fillArrived(line memory.Line, granted memory.State) {
 	m, ok := rn.mshrs[line]
 	if !ok {
-		panic(fmt.Sprintf("chi: fill for line %#x without MSHR at core %d", line, rn.id))
+		rn.sys.Fail(check.Violatef(check.KindProtocol, rn.sys.Engine.Now(),
+			"fill granting %v arrived with no outstanding MSHR", granted).AtLine(line).AtCore(rn.id))
+		return
 	}
+	rn.sys.tracef("core %d fill line %#x granted %v (%d waiters)", rn.id, line, granted, len(m.reqs))
 	delete(rn.mshrs, line)
 	if e, ok := rn.l1.Peek(uint64(line)); ok {
 		// Upgrade of a still-present copy.
@@ -444,6 +449,7 @@ func (rn *RN) installL2(line memory.Line, st memory.State) {
 // WriteBackFull / WriteEvictFull). The RN does not wait for completion.
 func (rn *RN) writeBack(line memory.Line, st memory.State) {
 	rn.Stats.WriteBacks++
+	rn.sys.tracef("core %d writeback line %#x %v", rn.id, line, st)
 	hn := rn.sys.HomeOf(line)
 	flits := noc.ControlFlits
 	if st.Dirty() {
@@ -471,7 +477,8 @@ func (rn *RN) setL1State(line memory.Line, st memory.State) {
 		e.state = st
 		return
 	}
-	panic(fmt.Sprintf("chi: setL1State on absent line %#x at core %d", line, rn.id))
+	rn.sys.Fail(check.Violatef(check.KindProtocol, rn.sys.Engine.Now(),
+		"state rewrite to %v on a line absent from the L1", st).AtLine(line).AtCore(rn.id))
 }
 
 // handleSnoop processes a snoop from the home node after an L1 tag lookup

@@ -58,3 +58,19 @@ func Jobs(fs *flag.FlagSet) *int {
 func CacheDir(fs *flag.FlagSet, def string) *string {
 	return fs.String("cache-dir", def, "persistent result cache directory (empty = no persistence)")
 }
+
+// Check registers -check: attach the runtime protocol invariant sanitizer
+// (SWMR and directory audits, occupancy bounds, end-of-run leak checks).
+func Check(fs *flag.FlagSet) *bool {
+	return fs.Bool("check", false, "attach the protocol invariant sanitizer")
+}
+
+// ChaosSeed registers -chaos-seed: the deterministic fault-injection seed.
+func ChaosSeed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("chaos-seed", 0, "deterministic fault-injection seed (0 with -chaos-level set selects seed 1)")
+}
+
+// ChaosLevel registers -chaos-level: the fault-injection intensity.
+func ChaosLevel(fs *flag.FlagSet) *int {
+	return fs.Int("chaos-level", 0, "fault-injection intensity 0..3 (0 with -chaos-seed set selects level 1)")
+}

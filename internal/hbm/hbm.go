@@ -54,6 +54,9 @@ type Memory struct {
 	nextFree []sim.Tick
 	stats    Stats
 	obs      *obs.Bus
+	// jitter, when non-nil, adds chaos delay to each access's completion
+	// (see SetJitter).
+	jitter func(ch int) sim.Tick
 }
 
 // New builds a memory model from cfg.
@@ -68,6 +71,12 @@ func New(cfg Config) (*Memory, error) {
 // publishes a "burst" occupancy span on its channel's track. A nil bus
 // disables publication.
 func (m *Memory) AttachObs(b *obs.Bus) { m.obs = b }
+
+// SetJitter installs a chaos hook adding extra cycles to each access's
+// completion time, skewing per-channel delay without changing channel
+// occupancy. The function must be deterministic for a given call sequence;
+// nil disables jitter.
+func (m *Memory) SetJitter(fn func(ch int) sim.Tick) { m.jitter = fn }
 
 // Channels returns the channel count.
 func (m *Memory) Channels() int { return m.cfg.Channels }
@@ -88,7 +97,11 @@ func (m *Memory) access(line memory.Line, now sim.Tick) sim.Tick {
 	if m.obs != nil {
 		m.obs.Span(obs.Track{Group: obs.TrackHBM, ID: ch}, "burst", start, m.cfg.LineOccupancy)
 	}
-	return start + m.cfg.Latency
+	done := start + m.cfg.Latency
+	if m.jitter != nil {
+		done += m.jitter(ch)
+	}
+	return done
 }
 
 // Read returns the completion time of a line read issued at now.

@@ -1,0 +1,131 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"dynamo/internal/cpu"
+	"dynamo/internal/obs/profile"
+	"dynamo/internal/sim"
+)
+
+// ErrStalled reports a run the forward-progress watchdog gave up on: the
+// engine kept executing events but no core committed an instruction for
+// the configured window. Match with errors.Is; the returned error is a
+// *RunError whose Diag explains where the machine was stuck.
+var ErrStalled = fmt.Errorf("machine: no forward progress")
+
+// RunError is a failed run with an attached machine diagnostic: what the
+// event queue, cores, MSHRs, home nodes and hottest lines looked like at
+// the moment the run was abandoned. It unwraps to its cause, so
+// errors.Is(err, ErrTimeout) and errors.Is(err, ErrStalled) keep working.
+type RunError struct {
+	Cause error
+	Diag  *Diag
+}
+
+// Error renders the cause followed by the diagnostic report.
+func (e *RunError) Error() string {
+	return e.Cause.Error() + "\n" + e.Diag.String()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// Diag is a point-in-time snapshot of a wedged machine.
+type Diag struct {
+	// Cycle and Events locate the snapshot in simulated time and engine
+	// work.
+	Cycle  sim.Tick `json:"cycle"`
+	Events uint64   `json:"events"`
+	// Finished / Programs count completed workload programs.
+	Finished int `json:"finished"`
+	Programs int `json:"programs"`
+	// Instructions is the total committed across all cores.
+	Instructions uint64 `json:"instructions"`
+	// PendingEvents is the event-queue depth; NextEventAt is the head
+	// event's time (equal to Cycle when the queue is empty).
+	PendingEvents int      `json:"pending_events"`
+	NextEventAt   sim.Tick `json:"next_event_at"`
+	// MSHRs is the outstanding-fill count per RN; HNBusy the blocked-line
+	// count per HN slice.
+	MSHRs  []int `json:"mshrs"`
+	HNBusy []int `json:"hn_busy"`
+	// HotLines is the contention profiler's table of the hottest AMO
+	// lines, when a profiler was attached to the run.
+	HotLines string `json:"hot_lines,omitempty"`
+}
+
+// String renders the diagnostic as an indented multi-line report.
+func (d *Diag) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  at cycle %d after %d events: %d/%d programs finished, %d instructions committed\n",
+		d.Cycle, d.Events, d.Finished, d.Programs, d.Instructions)
+	if d.PendingEvents == 0 {
+		b.WriteString("  event queue: empty\n")
+	} else {
+		fmt.Fprintf(&b, "  event queue: %d pending, head at cycle %d (+%d)\n",
+			d.PendingEvents, d.NextEventAt, d.NextEventAt-d.Cycle)
+	}
+	fmt.Fprintf(&b, "  outstanding fills per core: %s\n", countList(d.MSHRs))
+	fmt.Fprintf(&b, "  blocked lines per HN slice: %s", countList(d.HNBusy))
+	if d.HotLines != "" {
+		b.WriteString("\n  hottest contended lines:\n")
+		for _, line := range strings.Split(strings.TrimRight(d.HotLines, "\n"), "\n") {
+			b.WriteString("    " + line + "\n")
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// countList renders per-node counts compactly, eliding nodes at zero when
+// everything is quiet.
+func countList(counts []int) string {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return "all idle"
+	}
+	var parts []string
+	for i, n := range counts {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d:%d", i, n))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// diagnose snapshots the machine for a failed-run report.
+func (m *Machine) diagnose(finished, programs int, cores []*cpu.Core) *Diag {
+	eng := m.Sys.Engine
+	d := &Diag{
+		Cycle:         eng.Now(),
+		Events:        eng.Executed(),
+		Finished:      finished,
+		Programs:      programs,
+		PendingEvents: eng.Pending(),
+		NextEventAt:   eng.Now(),
+	}
+	if t, ok := eng.Head(); ok {
+		d.NextEventAt = t
+	}
+	for _, c := range cores {
+		if c != nil {
+			d.Instructions += c.Instructions
+		}
+	}
+	for _, rn := range m.Sys.RNs {
+		d.MSHRs = append(d.MSHRs, rn.MSHRCount())
+	}
+	for _, hn := range m.Sys.HNs {
+		d.HNBusy = append(d.HNBusy, hn.BusyLines())
+	}
+	if bus := m.Sys.Obs; bus != nil {
+		if p, ok := bus.Contention().(*profile.Profiler); ok {
+			d.HotLines = p.Report(bus.SiteOf).Table().String()
+		}
+	}
+	return d
+}

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dynamo/internal/check"
+	"dynamo/internal/cpu"
+	"dynamo/internal/memory"
+)
+
+func TestWatchdogCatchesStall(t *testing.T) {
+	cfg := smallConfig("all-near")
+	cfg.WatchdogEvents = 70_000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for { // generates events forever but never commits an instruction
+			th.Pause(10)
+		}
+	}})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Error("stall also matches ErrTimeout")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err %T is not a *RunError", err)
+	}
+	d := re.Diag
+	if d == nil {
+		t.Fatal("no diagnostic attached")
+	}
+	if d.Finished != 0 || d.Programs != 1 {
+		t.Errorf("diag programs = %d/%d, want 0/1", d.Finished, d.Programs)
+	}
+	if len(d.MSHRs) != cfg.Chi.Cores || len(d.HNBusy) != cfg.Chi.HNSlices {
+		t.Errorf("diag sized %d RNs / %d HNs, want %d/%d",
+			len(d.MSHRs), len(d.HNBusy), cfg.Chi.Cores, cfg.Chi.HNSlices)
+	}
+	msg := err.Error()
+	for _, want := range []string{"no forward progress", "programs finished", "event queue", "blocked lines"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error text missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestTimeoutCarriesDiagnostic(t *testing.T) {
+	cfg := smallConfig("all-near")
+	cfg.MaxEvents = 1000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for {
+			th.Load(0x1)
+			th.Compute(1)
+		}
+	}})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	var re *RunError
+	if !errors.As(err, &re) || re.Diag == nil {
+		t.Fatalf("timeout carries no diagnostic: %v", err)
+	}
+	if re.Diag.Instructions == 0 {
+		t.Error("diag shows zero committed instructions for a computing loop")
+	}
+}
+
+func TestCheckedRunReportsClean(t *testing.T) {
+	cfg := smallConfig("all-near")
+	cfg.Check = &check.Config{}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func(th *cpu.Thread) {
+		for i := 0; i < 50; i++ {
+			th.AMOStore(memory.AMOAdd, 0x1000, 1)
+			th.Load(memory.Addr(0x2000 + 64*i))
+		}
+		th.Fence()
+	}
+	res, err := m.Run([]cpu.Program{prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Sys.Data.Load(0x1000); got != 100 {
+		t.Fatalf("counter = %d, want 100", got)
+	}
+	rep := res.Check
+	if rep == nil {
+		t.Fatal("no check report on a checked run")
+	}
+	if !rep.Clean {
+		t.Error("report not clean")
+	}
+	if rep.Audits == 0 {
+		t.Error("no full audits (final pass should always count)")
+	}
+	if rep.ReleaseAudits == 0 {
+		t.Error("no release audits")
+	}
+	if rep.MaxMSHRs == 0 {
+		t.Error("MSHR occupancy never observed")
+	}
+}
+
+func TestUncheckedRunHasNoReport(t *testing.T) {
+	m, err := New(smallConfig("all-near"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run([]cpu.Program{func(th *cpu.Thread) { th.Compute(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check != nil {
+		t.Fatalf("unchecked run produced a check report: %+v", res.Check)
+	}
+}
+
+func TestCheckedRunCatchesPlantedCorruption(t *testing.T) {
+	cfg := smallConfig("all-near")
+	cfg.Check = &check.Config{Interval: 1000}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two unique owners of a line the program never touches: only the
+	// sanitizer's audit walk can see it.
+	m.Sys.RNs[0].ForceStateForTest(0x7000>>6, memory.UniqueDirty)
+	m.Sys.RNs[1].ForceStateForTest(0x7000>>6, memory.UniqueDirty)
+	_, err = m.Run([]cpu.Program{func(th *cpu.Thread) {
+		for i := 0; i < 100; i++ {
+			th.AMOStore(memory.AMOAdd, 0x1000, 1)
+		}
+	}})
+	if err == nil {
+		t.Fatal("planted double-unique not caught")
+	}
+	if !errors.Is(err, check.ErrViolation) {
+		t.Fatalf("err = %v, want a check violation", err)
+	}
+	var v *check.Violation
+	if !errors.As(err, &v) || v.Kind != check.KindSWMR {
+		t.Fatalf("violation = %v, want swmr", err)
+	}
+}

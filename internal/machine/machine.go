@@ -7,6 +7,7 @@ package machine
 import (
 	"fmt"
 
+	"dynamo/internal/check"
 	"dynamo/internal/chi"
 	"dynamo/internal/core"
 	"dynamo/internal/cpu"
@@ -41,6 +42,19 @@ type Config struct {
 	// link utilisation, HBM bandwidth, AMT hit-rate). Class latency and
 	// counter deltas additionally require Obs.
 	Interval *profile.Recorder
+	// Check, when non-nil, attaches the runtime protocol sanitizer: SWMR
+	// and directory audits on release and at Check.Interval events,
+	// MSHR/transaction-table occupancy bounds, and end-of-run quiescence
+	// and leak audits. A violation aborts the run with a *check.Violation;
+	// a clean run reports its audit counters in Result.Check. The zero
+	// Config selects every default.
+	Check *check.Config
+	// WatchdogEvents is the forward-progress window: if no core commits an
+	// instruction for this many engine events, the run is abandoned with
+	// ErrStalled and a machine diagnostic. Zero selects the package
+	// default (20M events); the watchdog is always on because a livelocked
+	// run otherwise burns the full MaxEvents budget before reporting.
+	WatchdogEvents uint64
 }
 
 // DefaultConfig reproduces Table II scaled to cycle-level first-order
@@ -76,7 +90,17 @@ func DefaultConfig() Config {
 	}
 }
 
-const defaultMaxEvents = 500_000_000
+const (
+	defaultMaxEvents = 500_000_000
+	// defaultWatchdogEvents is the no-commit window before a run is
+	// declared stalled. The largest legal quiet stretches (a full HBM
+	// queue drain, a cold AMT warmup) are orders of magnitude shorter.
+	defaultWatchdogEvents = 20_000_000
+	// progressStride is how often (in events) the run loop re-checks
+	// forward progress and audit deadlines; a power of two keeps the
+	// per-event condition cheap.
+	progressStride = 1 << 16
+)
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -123,6 +147,10 @@ type Result struct {
 	// transaction class and phase, occupancy spans, predictor counters).
 	// Nil unless the machine was built with Config.Obs.
 	Obs *obs.Report
+	// Check summarizes the protocol sanitizer's audits and occupancy
+	// maxima. Nil unless the machine was built with Config.Check; always
+	// Clean when present (a violated run errors instead).
+	Check *check.Report
 	// Detail carries every raw counter for reports and debugging.
 	Detail *stats.Group
 }
@@ -166,6 +194,9 @@ func NewWithPolicy(cfg Config, policy chi.Policy) (*Machine, error) {
 	sys, err := chi.NewSystem(cfg.Chi, policy)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Check != nil {
+		sys.EnableCheck(check.New(*cfg.Check))
 	}
 	model := cfg.Energy
 	if model == (energy.Model{}) {
@@ -234,20 +265,98 @@ func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
 	if budget == 0 {
 		budget = defaultMaxEvents
 	}
-	ok := m.Sys.Engine.RunUntil(func() bool { return finished == len(programs) }, budget)
+	eng := m.Sys.Engine
+
+	// The run condition doubles as the forward-progress watchdog and the
+	// periodic-audit driver; every progressStride events it re-reads the
+	// committed-instruction total and, with a sanitizer attached, walks
+	// the coherence audit at its configured interval.
+	watchdog := m.Cfg.WatchdogEvents
+	if watchdog == 0 {
+		watchdog = defaultWatchdogEvents
+	}
+	instrTotal := func() uint64 {
+		var n uint64
+		for _, c := range cores {
+			if c != nil {
+				n += c.Instructions
+			}
+		}
+		return n
+	}
+	auditEvery := m.Sys.Check.Interval()
+	nextAudit := eng.Executed() + auditEvery
+	stalled := false
+	lastInstr := instrTotal()
+	lastProgress := eng.Executed()
+	nextCheck := eng.Executed() + progressStride
+	cond := func() bool {
+		if finished == len(programs) {
+			return true
+		}
+		x := eng.Executed()
+		if x < nextCheck {
+			return false
+		}
+		nextCheck = x + progressStride
+		if n := instrTotal(); n != lastInstr {
+			lastInstr = n
+			lastProgress = x
+		} else if x-lastProgress >= watchdog {
+			stalled = true
+			return true
+		}
+		if auditEvery > 0 && x >= nextAudit {
+			nextAudit = x + auditEvery
+			m.Sys.Fail(m.Sys.AuditCoherence())
+		}
+		return false
+	}
+	ok := eng.RunUntil(cond, budget)
 	stopAging = true
 	stopSampling = true
-	if !ok {
+	fail := func(cause error) (*Result, error) {
 		for _, c := range cores {
-			c.Abort()
+			if c != nil {
+				c.Abort()
+			}
 		}
-		if finished < len(programs) && m.Sys.Engine.Pending() == 0 {
-			return nil, fmt.Errorf("machine: deadlock — %d/%d programs finished and no events pending",
-				finished, len(programs))
+		if v, isViolation := cause.(*check.Violation); isViolation {
+			// A violation is its own diagnostic: it carries the protocol
+			// trail, and the machine state after it is not trustworthy.
+			return nil, v
 		}
-		return nil, ErrTimeout
+		return nil, &RunError{Cause: cause, Diag: m.diagnose(finished, len(programs), cores)}
 	}
-	m.Sys.Engine.Run(0) // drain writebacks and in-flight background work
+	if v := m.Sys.Violation; v != nil {
+		return fail(v)
+	}
+	if stalled {
+		return fail(ErrStalled)
+	}
+	if !ok {
+		if finished < len(programs) && eng.Pending() == 0 {
+			return fail(fmt.Errorf("machine: deadlock — %d/%d programs finished and no events pending",
+				finished, len(programs)))
+		}
+		return fail(ErrTimeout)
+	}
+	eng.Run(0) // drain writebacks and in-flight background work
+	if v := m.Sys.Violation; v != nil {
+		// Release-time audits keep running while the queue drains.
+		return fail(v)
+	}
+	if m.Sys.Check != nil {
+		if v := m.Sys.AuditCoherence(); v != nil {
+			return fail(v)
+		}
+		if v := m.Sys.AuditDrained(); v != nil {
+			return fail(v)
+		}
+		if leaks := m.Sys.Obs.Leaks(); len(leaks) > 0 {
+			return fail(check.LeakViolation(eng.Now(), leaks))
+		}
+	}
 	if rec := m.Cfg.Interval; rec != nil {
 		// Close the partial tail interval so the series covers the full run.
 		m.sample(rec, cores)
@@ -341,5 +450,6 @@ func (m *Machine) collect(cores []*cpu.Core) *Result {
 	if m.Sys.Obs != nil {
 		r.Obs = m.Sys.Obs.Report()
 	}
+	r.Check = m.Sys.Check.Report()
 	return r
 }

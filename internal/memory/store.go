@@ -1,5 +1,7 @@
 package memory
 
+import "sort"
+
 // Store is the functional backing store for simulated memory. The simulator
 // is execution-driven: workloads compute real results (histograms, sorted
 // arrays, BFS distances) in this store, which lets integration tests verify
@@ -47,3 +49,21 @@ func (s *Store) AMO(op AMOOp, a Addr, operand, compare uint64) (old uint64) {
 // Footprint returns the number of distinct non-zero words stored, an
 // approximation of the touched memory footprint used by Table III reporting.
 func (s *Store) Footprint() int { return len(s.words) }
+
+// Word is one (address, value) pair of the functional image.
+type Word struct {
+	Addr  Addr
+	Value uint64
+}
+
+// Words returns every non-zero word sorted by address — the canonical
+// functional image, used to digest a run's result for metamorphic
+// (perturbation-invariance) testing.
+func (s *Store) Words() []Word {
+	out := make([]Word, 0, len(s.words))
+	for a, v := range s.words {
+		out = append(out, Word{Addr: a, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

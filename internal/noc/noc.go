@@ -57,6 +57,9 @@ type Mesh struct {
 	obs   *obs.Bus
 	// nextFree[node][dir] is the first cycle the link is idle.
 	nextFree [][4]sim.Tick
+	// jitter, when non-nil, adds chaos delay to each delivery (see
+	// SetJitter).
+	jitter func(src, dst, flits int) sim.Tick
 }
 
 // Directions for outgoing links.
@@ -82,6 +85,12 @@ func New(cfg Config) (*Mesh, error) {
 // then publishes a "xfer" occupancy span on the link's track (node*4+dir,
 // the encoding obs track names decode). A nil bus disables publication.
 func (m *Mesh) AttachObs(b *obs.Bus) { m.obs = b }
+
+// SetJitter installs a chaos hook adding extra cycles to each message's
+// delivery time, after link reservations are made — perturbing arrival
+// order without changing link occupancy. The function must be
+// deterministic for a given call sequence; nil disables jitter.
+func (m *Mesh) SetJitter(fn func(src, dst, flits int) sim.Tick) { m.jitter = fn }
 
 // Nodes returns the number of mesh nodes.
 func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
@@ -157,9 +166,13 @@ func (m *Mesh) Send(src, dst int, flits int, now sim.Tick) sim.Tick {
 	}
 	m.stats.Messages++
 	m.stats.Flits += uint64(flits)
+	var extra sim.Tick
+	if m.jitter != nil {
+		extra = m.jitter(src, dst, flits)
+	}
 	if src == dst {
 		// Local delivery still pays one router traversal.
-		return now + m.cfg.RouteLatency
+		return now + m.cfg.RouteLatency + extra
 	}
 	t := now
 	hops := 0
@@ -200,7 +213,7 @@ func (m *Mesh) Send(src, dst int, flits int, now sim.Tick) sim.Tick {
 	}
 	m.stats.Hops += uint64(hops)
 	m.stats.FlitHops += uint64(hops) * uint64(flits)
-	return t
+	return t + extra
 }
 
 // Stats returns a copy of the accumulated traffic counters.

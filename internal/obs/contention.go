@@ -120,6 +120,15 @@ func (b *Bus) AttachContention(o ContentionObserver) {
 	b.contention = o
 }
 
+// Contention returns the attached contention observer, if any. Diagnostic
+// reporters use it to reach the profiler behind the bus.
+func (b *Bus) Contention() ContentionObserver {
+	if b == nil {
+		return nil
+	}
+	return b.contention
+}
+
 // ProfileAMO forwards a completed AMO placement to the contention observer.
 func (b *Bus) ProfileAMO(line memory.Addr, far bool) {
 	if b == nil || b.contention == nil {

@@ -47,6 +47,10 @@ func (s *store) path(digest string) string {
 	return filepath.Join(s.dir, digest+".json")
 }
 
+func (s *store) failedPath(digest string) string {
+	return filepath.Join(s.dir, digest+".failed.json")
+}
+
 // errEvicted marks a cache file that existed but was unusable (corrupt,
 // old schema, or digest collision); the caller counts an eviction and
 // re-simulates.
@@ -113,9 +117,42 @@ func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runner: writing cache entry: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(q.Digest())); err != nil {
+	digest := q.Digest()
+	if err := os.Rename(tmp.Name(), s.path(digest)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runner: writing cache entry: %w", err)
+	}
+	// A successful run supersedes any quarantine marker from an earlier
+	// failed attempt (e.g. after a simulator fix).
+	os.Remove(s.failedPath(digest))
+	return nil
+}
+
+// failedEntry is one quarantine marker: results/cache/<digest>.failed.json.
+// Markers record why a request failed without ever being served as a
+// result — a failed run is re-simulated, not replayed.
+type failedEntry struct {
+	Schema int               `json:"schema"`
+	Meta   map[string]string `json:"meta"`
+	Error  string            `json:"error"`
+}
+
+// quarantine records a failed run beside the result cache for post-mortem
+// inspection. A nil store drops the record.
+func (s *store) quarantine(q Request, cause error) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("runner: creating cache dir: %w", err)
+	}
+	e := failedEntry{Schema: entrySchema, Meta: q.meta(), Error: cause.Error()}
+	data, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: encoding quarantine marker: %w", err)
+	}
+	if err := os.WriteFile(s.failedPath(q.Digest()), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("runner: writing quarantine marker: %w", err)
 	}
 	return nil
 }

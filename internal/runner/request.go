@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"strconv"
 
+	"dynamo/internal/chaos"
+	"dynamo/internal/check"
 	"dynamo/internal/core"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs"
@@ -68,6 +70,14 @@ type Request struct {
 	// ProfileTopK, when positive, attaches the contention profiler and
 	// collects the top-K hot-line report (implies an observability bus).
 	ProfileTopK int
+	// Check attaches the protocol invariant sanitizer (default bounds);
+	// a clean run reports its audit counters in the result's Check.
+	Check bool
+	// ChaosSeed / ChaosLevel attach the deterministic fault injector.
+	// A non-zero seed with a zero level runs at level 1; a non-zero level
+	// with a zero seed runs seed 1. Both zero leave the run unperturbed.
+	ChaosSeed  int64
+	ChaosLevel int
 }
 
 // normalize fills defaults so equal effective requests share a digest.
@@ -86,6 +96,12 @@ func (q Request) normalize() Request {
 	}
 	if q.SysVariant == "base" {
 		q.SysVariant = ""
+	}
+	if q.ChaosSeed != 0 && q.ChaosLevel == 0 {
+		q.ChaosLevel = 1
+	}
+	if q.ChaosLevel > 0 && q.ChaosSeed == 0 {
+		q.ChaosSeed = 1
 	}
 	return q
 }
@@ -117,6 +133,15 @@ func (q Request) meta() map[string]string {
 	if q.ProfileTopK > 0 {
 		m["profile-topk"] = strconv.Itoa(q.ProfileTopK)
 	}
+	// Sanitizer and chaos keys are emitted only when set, so plain
+	// requests keep the digests their cache entries were saved under.
+	if q.Check {
+		m["check"] = "true"
+	}
+	if q.ChaosLevel > 0 {
+		m["chaos-seed"] = strconv.FormatInt(q.ChaosSeed, 10)
+		m["chaos-level"] = strconv.Itoa(q.ChaosLevel)
+	}
 	return m
 }
 
@@ -140,13 +165,20 @@ func (q Request) String() string {
 	if q.SysVariant != "" && q.SysVariant != "base" {
 		s += "@" + q.SysVariant
 	}
+	if q.Check {
+		s += "+check"
+	}
+	if q.ChaosLevel > 0 {
+		s += fmt.Sprintf("+chaos(%d/%d)", q.ChaosSeed, q.ChaosLevel)
+	}
 	return s
 }
 
 // ApplyVariant mutates cfg according to a named system variant: the
 // Fig. 10/11 NoC and memory-latency points, single-parameter ablations
-// (amobuf-N, maxatomics-N, occupancy-N, prefetch-N) and AMT sizings
-// (amt-e<entries>-w<ways>-c<counter>). "" and "base" leave the default.
+// (amobuf-N, maxatomics-N, occupancy-N, prefetch-N, maxevents-N) and AMT
+// sizings (amt-e<entries>-w<ways>-c<counter>). "" and "base" leave the
+// default.
 func ApplyVariant(name string, cfg *machine.Config) error {
 	switch name {
 	case "", "base":
@@ -171,6 +203,8 @@ func ApplyVariant(name string, cfg *machine.Config) error {
 			cfg.Chi.FarAMOOccupancy = sim.Tick(n)
 		case scanInt(name, "prefetch-%d", &n):
 			cfg.Chi.PrefetchDegree = n
+		case scanInt(name, "maxevents-%d", &n):
+			cfg.MaxEvents = uint64(n)
 		default:
 			// AMT variants: amt-e<entries>-w<ways>-c<counter>.
 			var e, w, c int
@@ -206,6 +240,9 @@ func execute(q Request) (*Outcome, error) {
 	cfg := machine.DefaultConfig()
 	if err := ApplyVariant(q.SysVariant, &cfg); err != nil {
 		return nil, err
+	}
+	if q.Check {
+		cfg.Check = &check.Config{}
 	}
 	var bus *obs.Bus
 	var prof *profile.Profiler
@@ -259,6 +296,13 @@ func execute(q Request) (*Outcome, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if q.ChaosLevel > 0 {
+		inj, err := chaos.New(q.ChaosSeed, q.ChaosLevel)
+		if err != nil {
+			return nil, err
+		}
+		inj.Attach(m)
 	}
 	if inst.Setup != nil {
 		inst.Setup(m.Sys.Data)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -47,9 +48,11 @@ type Stats struct {
 	// DiskHits counts jobs answered by the persistent store.
 	Hits     uint64
 	DiskHits uint64
-	// Misses counts jobs that had to simulate; Errors counts failed jobs.
+	// Misses counts jobs that had to simulate; Errors counts failed jobs,
+	// of which Panics recovered from a panicking simulation.
 	Misses uint64
 	Errors uint64
+	Panics uint64
 	// Evictions counts persisted entries dropped as corrupt or outdated.
 	Evictions uint64
 	// Saved is the recorded simulation time of every disk hit.
@@ -58,6 +61,39 @@ type Stats struct {
 
 // Simulated returns how many simulations actually executed.
 func (s Stats) Simulated() uint64 { return s.Misses }
+
+// ErrJobPanicked marks a job whose simulation panicked; the runner
+// recovered, quarantined the job, and kept the rest of the sweep alive.
+var ErrJobPanicked = errors.New("runner: job panicked")
+
+// JobError is a failed job: the request that failed and why. Sweep code
+// matches causes through it with errors.Is/As (machine.ErrTimeout,
+// machine.ErrStalled, *check.Violation, ErrJobPanicked).
+type JobError struct {
+	Request Request
+	Err     error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("runner: %s: %v", e.Request, e.Err) }
+
+// Unwrap exposes the cause for errors.Is and errors.As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// executeFn is swapped by tests to inject failing or panicking jobs.
+var executeFn = execute
+
+// safeExecute runs one job, converting a panic anywhere in the simulator
+// into an ErrJobPanicked with the recovered value and stack: one corrupt
+// job must not take down a thousand-job sweep.
+func safeExecute(q Request) (out *Outcome, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = nil
+			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, rec, debug.Stack())
+		}
+	}()
+	return executeFn(q)
+}
 
 // Task is a submitted job's handle.
 type Task struct {
@@ -81,10 +117,11 @@ type Runner struct {
 	store *store
 	sem   chan struct{}
 
-	mu    sync.Mutex
-	tasks map[string]*Task
-	order []*Task
-	stats Stats
+	mu     sync.Mutex
+	tasks  map[string]*Task
+	order  []*Task
+	failed []*JobError
+	stats  Stats
 }
 
 // New builds a runner.
@@ -153,6 +190,17 @@ func (r *Runner) Stats() Stats {
 	return r.stats
 }
 
+// Failed returns every failed job so far, in completion order. A sweep
+// that mixes good and bad configurations harvests its partial results
+// with Wait-per-task and reads the casualties here.
+func (r *Runner) Failed() []*JobError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*JobError, len(r.failed))
+	copy(out, r.failed)
+	return out
+}
+
 func (r *Runner) run(t *Task) {
 	defer close(t.done)
 
@@ -176,23 +224,31 @@ func (r *Runner) run(t *Task) {
 
 	r.sem <- struct{}{}
 	start := time.Now()
-	out, runErr := execute(t.req)
+	out, runErr := safeExecute(t.req)
 	elapsed = time.Since(start)
 	<-r.sem
 
-	r.mu.Lock()
 	if runErr != nil {
+		je := &JobError{Request: t.req, Err: runErr}
+		r.mu.Lock()
 		r.stats.Errors++
-	} else {
-		r.stats.Misses++
-	}
-	r.mu.Unlock()
-
-	if runErr != nil {
-		t.err = fmt.Errorf("runner: %s: %w", t.req, runErr)
+		if errors.Is(runErr, ErrJobPanicked) {
+			r.stats.Panics++
+		}
+		r.failed = append(r.failed, je)
+		r.mu.Unlock()
+		t.err = je
+		// Failed runs never enter the result cache; they leave a
+		// quarantine marker beside it for post-mortem instead.
+		if qerr := r.store.quarantine(t.req, runErr); qerr != nil {
+			r.logf(t, "quarantine write failed: %v", qerr)
+		}
 		r.logf(t, "failed %s: %v", t.req, runErr)
 		return
 	}
+	r.mu.Lock()
+	r.stats.Misses++
+	r.mu.Unlock()
 	t.out = out
 	if err := r.store.save(t.req, out, elapsed); err != nil {
 		// A write failure degrades the cache, not the run.

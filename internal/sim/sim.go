@@ -91,8 +91,21 @@ func (e *Engine) At(t Tick, fn func()) {
 	e.Schedule(t-e.now, fn)
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run or RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run/RunUntil
+// began.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Head returns the time of the next pending event. ok is false when the
+// queue is empty.
+func (e *Engine) Head() (t Tick, ok bool) {
+	if e.queue.Len() == 0 {
+		return 0, false
+	}
+	return e.queue[0].when, true
+}
 
 // Step executes the single next event, advancing time to it. It reports
 // whether an event was executed.
@@ -126,12 +139,16 @@ func (e *Engine) Run(limit Tick) uint64 {
 	return e.executed - start
 }
 
-// RunUntil executes events while cond returns false, the queue is non-empty
-// and the event budget (0 = unlimited) is not exhausted. It reports whether
-// cond became true.
+// RunUntil executes events while cond returns false, the queue is non-empty,
+// Stop has not been called and the event budget (0 = unlimited) is not
+// exhausted. It reports whether cond became true.
 func (e *Engine) RunUntil(cond func() bool, maxEvents uint64) bool {
+	e.stopped = false
 	var n uint64
 	for !cond() {
+		if e.stopped {
+			return false
+		}
 		if maxEvents > 0 && n >= maxEvents {
 			return false
 		}

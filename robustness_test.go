@@ -1,0 +1,92 @@
+package dynamo
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSessionWithCheck(t *testing.T) {
+	s, err := New(smallConfig(),
+		WithPolicy("dynamo-reuse-pn"),
+		WithThreads(4),
+		WithScale(0.1),
+		WithCheck())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil || !res.Check.Clean {
+		t.Fatalf("sanitized run has no clean report: %+v", res.Check)
+	}
+	if res.Check.Audits == 0 && res.Check.ReleaseAudits == 0 {
+		t.Fatalf("sanitizer audited nothing: %+v", res.Check)
+	}
+}
+
+func TestSessionWithChaosIsDeterministic(t *testing.T) {
+	run := func() *Result {
+		s, err := New(smallConfig(),
+			WithThreads(4),
+			WithScale(0.1),
+			WithCheck(),
+			WithChaos(7, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run("histogram")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions || a.NoC != b.NoC {
+		t.Fatalf("chaos seed 7 does not replay: %d/%d cycles", a.Cycles, b.Cycles)
+	}
+	if a.Check == nil || !a.Check.Clean {
+		t.Fatalf("perturbed run not clean: %+v", a.Check)
+	}
+}
+
+func TestChaosLevelValidatedEagerly(t *testing.T) {
+	if _, err := New(smallConfig(), WithChaos(1, 99)); err == nil {
+		t.Fatal("New accepted an out-of-range chaos level")
+	}
+}
+
+func TestWatchdogSurfacesStall(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WatchdogEvents = 70_000
+	s, err := New(cfg, WithThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.RunPrograms([]Program{func(th *Thread) {
+		for { // spins without committing an instruction
+			th.Pause(10)
+		}
+	}})
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestSweepWithCheckAndChaos(t *testing.T) {
+	r := NewRunner(WithJobs(2))
+	res, err := r.Run(SweepRequest{
+		Workload: "tc", Threads: 2, Scale: 0.05,
+		Check: true, ChaosSeed: 3, ChaosLevel: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Check == nil || !res.Check.Clean {
+		t.Fatalf("sweep run has no clean report: %+v", res.Check)
+	}
+	if failed := r.Failed(); len(failed) != 0 {
+		t.Fatalf("Failed() = %v", failed)
+	}
+}

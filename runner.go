@@ -69,6 +69,13 @@ type SweepRequest struct {
 	// Variant names a non-default system configuration — the Fig. 10/11
 	// study points such as "noc-1c", "double-lat" or "amt-e64-w4-c32".
 	Variant string
+	// Check attaches the protocol invariant sanitizer; a clean run
+	// reports its audit counters in the result's Check.
+	Check bool
+	// ChaosSeed and ChaosLevel attach the deterministic fault injector
+	// (see WithChaos). Setting one defaults the other to 1.
+	ChaosSeed  int64
+	ChaosLevel int
 }
 
 func (q SweepRequest) request() runner.Request {
@@ -80,6 +87,9 @@ func (q SweepRequest) request() runner.Request {
 		Seed:       q.Seed,
 		Scale:      q.Scale,
 		SysVariant: q.Variant,
+		Check:      q.Check,
+		ChaosSeed:  q.ChaosSeed,
+		ChaosLevel: q.ChaosLevel,
 	}
 }
 
@@ -119,3 +129,17 @@ func (r *Runner) Wait() error { return r.r.Wait() }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() RunnerStats { return r.r.Stats() }
+
+// Failed returns every failed run so far, in completion order. One bad
+// configuration — even one that panics the simulator — never sinks the
+// sweep: healthy runs complete, failures are quarantined here, and each
+// error matches its cause through errors.Is (ErrTimeout, ErrStalled,
+// ErrViolation, ErrJobPanicked).
+func (r *Runner) Failed() []error {
+	jobs := r.r.Failed()
+	out := make([]error, len(jobs))
+	for i, j := range jobs {
+		out[i] = j
+	}
+	return out
+}

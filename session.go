@@ -3,9 +3,11 @@ package dynamo
 import (
 	"fmt"
 
+	"dynamo/internal/check"
 	"dynamo/internal/core"
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
+	"dynamo/internal/runner"
 	"dynamo/internal/trace"
 	"dynamo/internal/workload"
 )
@@ -22,6 +24,18 @@ var (
 	// ErrTimeout reports a run that exceeded its simulated event budget
 	// (Config.MaxEvents).
 	ErrTimeout = machine.ErrTimeout
+	// ErrStalled reports a run the forward-progress watchdog abandoned: no
+	// core committed an instruction for Config.WatchdogEvents events. The
+	// returned error carries a machine diagnostic (event-queue, MSHR and
+	// hot-line state at the stall).
+	ErrStalled = machine.ErrStalled
+	// ErrViolation reports a run the protocol invariant sanitizer aborted
+	// (WithCheck); the returned error is a *check.Violation carrying the
+	// violated invariant and a recent protocol-event trail.
+	ErrViolation = check.ErrViolation
+	// ErrJobPanicked reports a sweep job whose simulation panicked; the
+	// Runner recovered and the rest of the sweep completed.
+	ErrJobPanicked = runner.ErrJobPanicked
 )
 
 // Session is a configured simulation context: one system configuration
@@ -89,6 +103,29 @@ func WithInterval(rec *IntervalRecorder) Option {
 // WithoutValidation disables the post-run functional check (benchmarks).
 func WithoutValidation() Option {
 	return func(s *Session) { s.opts.SkipValidation = true }
+}
+
+// WithCheck attaches the runtime protocol invariant sanitizer: SWMR and
+// directory audits on every transaction release and at a periodic
+// interval, MSHR and transaction-table occupancy bounds, and end-of-run
+// quiescence and leak audits. A violated invariant aborts the run with a
+// *check.Violation (match with ErrViolation); a clean run reports its
+// audit counters in Result.Check.
+func WithCheck() Option {
+	return func(s *Session) { s.opts.Check = true }
+}
+
+// WithChaos attaches the deterministic fault injector: protocol-legal
+// timing perturbations (NoC link jitter, HBM channel skew, snoop-response
+// reordering, forced predictor-table eviction pressure) drawn from seed
+// at intensity level 1..3. Functional results are unaffected by
+// construction — only schedules move — and a given seed replays exactly.
+// A zero level with a non-zero seed selects level 1, and vice versa.
+func WithChaos(seed int64, level int) Option {
+	return func(s *Session) {
+		s.opts.ChaosSeed = seed
+		s.opts.ChaosLevel = level
+	}
 }
 
 // New builds a Session on cfg. The policy name and thread count are
@@ -159,6 +196,9 @@ func (s *Session) RunPrograms(programs []Program) (*Result, func(addr uint64) ui
 	}
 	cfg.Obs = opts.Obs
 	cfg.Interval = opts.Interval
+	if opts.Check {
+		cfg.Check = &check.Config{}
+	}
 	if opts.Profile != nil {
 		if opts.Obs == nil {
 			return nil, nil, fmt.Errorf("dynamo: WithProfile requires WithObs")
@@ -167,6 +207,9 @@ func (s *Session) RunPrograms(programs []Program) (*Result, func(addr uint64) ui
 	}
 	m, err := machine.New(cfg)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := attachChaos(m, opts); err != nil {
 		return nil, nil, err
 	}
 	res, err := m.Run(programs)
