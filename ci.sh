@@ -4,6 +4,8 @@
 # against the committed baselines in testdata/baselines/ and any metric
 # drift fails the build. Regenerate baselines after an intentional
 # behaviour change with: ./ci.sh -update-baselines
+# Finally the crash-recovery gate SIGKILLs a sweep mid-run and asserts a
+# -resume rerun reproduces the uninterrupted tables byte-for-byte.
 set -eu
 cd "$(dirname "$0")"
 
@@ -65,5 +67,27 @@ for run in \
 		"$stats/dynamo-stats" diff "$baselines/$name" "$stats/$name"
 	fi
 done
+
+# Crash-recovery gate: a sweep SIGKILLed mid-run must complete under
+# -resume with tables byte-identical to an uninterrupted sweep. If the
+# sweep wins the race and finishes before the kill, the rerun is a pure
+# warm-cache pass and the byte-identity assertion still holds.
+go build -o "$stats/dynamo-experiments" ./cmd/dynamo-experiments
+rcache="$stats/recovery-cache"
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "$rcache" \
+	fig7 >"$stats/fig7-want.txt" 2>/dev/null
+rm -rf "$rcache"
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "$rcache" \
+	-ckpt-every 20000 fig7 >/dev/null 2>&1 &
+sweep=$!
+sleep 1
+kill -9 "$sweep" 2>/dev/null || echo "ci: recovery sweep finished before the kill"
+wait "$sweep" 2>/dev/null || true
+echo "ci: resuming killed sweep"
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "$rcache" \
+	-ckpt-every 20000 -resume fig7 >"$stats/fig7-got.txt" 2>"$stats/fig7-resume.err"
+grep -o '[0-9]* resumed' "$stats/fig7-resume.err" || true
+cmp "$stats/fig7-want.txt" "$stats/fig7-got.txt"
+echo "ci: killed sweep resumed to byte-identical tables"
 
 echo "ci: OK"

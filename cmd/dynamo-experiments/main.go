@@ -15,15 +15,27 @@
 // simulates nothing. Tables go to stdout and are byte-identical for any
 // -jobs value and any cache state; timing, progress and cache statistics
 // go to stderr.
+//
+// A sweep is crash-safe: with -ckpt-every, running jobs periodically
+// checkpoint into the cache directory, and SIGINT/SIGTERM stop the sweep
+// gracefully (in-flight jobs checkpoint, finished results stay cached).
+// Re-invoking with -resume restores the unfinished jobs from their
+// checkpoints and completes the sweep with byte-identical tables.
+// Transiently failed jobs (a recovered panic, a watchdog stall) are
+// retried up to -retries times before quarantine.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
+	"dynamo"
 	"dynamo/internal/cliflags"
 	"dynamo/internal/experiments"
 )
@@ -37,6 +49,9 @@ func main() {
 	quick := flag.Bool("quick", false, "scaled-down suite (8 threads, scale 0.05) unless -threads/-scale are given")
 	verbose := flag.Bool("v", false, "log every simulation run")
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
+	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
+	resume := cliflags.Resume(flag.CommandLine)
+	retries := cliflags.Retries(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -58,12 +73,28 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel the sweep instead of killing the process:
+	// queued jobs abort, running jobs checkpoint (with -ckpt-every) and
+	// stop, completed results are already in the cache.
+	interrupt := make(chan struct{})
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-signals
+		signal.Stop(signals)
+		close(interrupt)
+	}()
+
 	opts := experiments.Options{
-		Threads:  *threads,
-		Seed:     *seed,
-		Scale:    *scale,
-		Workers:  *jobs,
-		CacheDir: *cacheDir,
+		Threads:   *threads,
+		Seed:      *seed,
+		Scale:     *scale,
+		Workers:   *jobs,
+		CacheDir:  *cacheDir,
+		Retries:   *retries,
+		CkptEvery: *ckptEvery,
+		Resume:    *resume,
+		Interrupt: interrupt,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -89,6 +120,14 @@ func main() {
 		start := time.Now()
 		table, err := e.Run(suite)
 		if err != nil {
+			if errors.Is(err, dynamo.ErrInterrupted) {
+				st := suite.Runner().Stats()
+				fmt.Fprintf(os.Stderr, "dynamo-experiments: interrupted during %s (%d jobs cancelled, %d results cached)\n",
+					e.ID, st.Interrupted, st.Misses+st.DiskHits)
+				fmt.Fprintf(os.Stderr, "dynamo-experiments: re-run with -resume (same flags) to continue from the checkpoints in %s\n",
+					*cacheDir)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -107,6 +146,12 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"runner: %d requests -> %d jobs: %d simulated, %d memory hits, %d disk hits, %d evictions",
 		st.Requests, st.Submitted, st.Simulated(), st.Hits, st.DiskHits, st.Evictions)
+	if st.Retries > 0 {
+		fmt.Fprintf(os.Stderr, ", %d retries", st.Retries)
+	}
+	if st.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, ", %d resumed", st.Resumed)
+	}
 	if st.Saved > 0 {
 		fmt.Fprintf(os.Stderr, ", saved %s", st.Saved.Round(time.Millisecond))
 	}

@@ -1,5 +1,5 @@
 // Command dynamo-trace records, inspects and replays memory-operation
-// traces.
+// traces, and bisects sanitizer violations down to a minimal event window.
 //
 // Usage:
 //
@@ -7,17 +7,30 @@
 //	dynamo-trace info hist.trace
 //	dynamo-trace replay -policy dynamo-reuse-pn hist.trace
 //	dynamo-trace synth -threads 8 -ops 100 -o counter.trace
+//	dynamo-trace bisect -workload tc -policy dynamo-metric -max-mshrs 1
+//
+// bisect reruns a violating sanitized run and binary-searches the
+// deterministic event stream for the smallest prefix that already
+// violates, printing the minimal event window and the protocol trail
+// leading up to the failure. A checkpoint file (-ckpt) taken from the
+// same run bounds the search from below, so the replays start near the
+// failure instead of from event zero.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dynamo"
+	"dynamo/internal/chaos"
+	"dynamo/internal/check"
 	"dynamo/internal/cliflags"
+	"dynamo/internal/cpu"
 	"dynamo/internal/machine"
 	"dynamo/internal/trace"
+	"dynamo/internal/workload"
 )
 
 func main() {
@@ -34,6 +47,8 @@ func main() {
 		err = replay(os.Args[2:])
 	case "synth":
 		err = synth(os.Args[2:])
+	case "bisect":
+		err = bisect(os.Args[2:])
 	default:
 		usage()
 	}
@@ -44,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: dynamo-trace {record|info|replay|synth} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: dynamo-trace {record|info|replay|synth|bisect} [flags]")
 	os.Exit(2)
 }
 
@@ -171,5 +186,165 @@ func synth(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d records to %s\n", len(recs), *out)
+	return nil
+}
+
+// bisect localises the first sanitizer violation of a deterministic run.
+// It executes the full sanitized run (expecting a violation), then
+// binary-searches the event index: each probe rebuilds the machine from
+// scratch, replays the deterministic event stream to the candidate event,
+// and asks whether the prefix already violated (the run aborted with a
+// violation, or the paused state fails a coherence audit). The result is
+// the smallest violating prefix — a one-event window around the failure —
+// plus the violation's protocol trail.
+func bisect(args []string) error {
+	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+	wl := cliflags.Workload(fs)
+	policy := cliflags.Policy(fs)
+	threads := cliflags.Threads(fs, 8)
+	seed := cliflags.Seed(fs)
+	scale := cliflags.Scale(fs, 0.25)
+	input := cliflags.Input(fs)
+	chaosSeed := cliflags.ChaosSeed(fs)
+	chaosLevel := cliflags.ChaosLevel(fs)
+	maxMSHRs := fs.Int("max-mshrs", 0, "tightened sanitizer MSHR bound (0 = default)")
+	maxBusy := fs.Int("max-busy-lines", 0, "tightened sanitizer busy-line bound (0 = default)")
+	ckptFile := fs.String("ckpt", "", "checkpoint from the same run bounding the search from below")
+	fs.Parse(args)
+	if *wl == "" {
+		return fmt.Errorf("bisect: -workload is required")
+	}
+	if *chaosSeed != 0 && *chaosLevel == 0 {
+		*chaosLevel = 1
+	}
+	if *chaosLevel > 0 && *chaosSeed == 0 {
+		*chaosSeed = 1
+	}
+
+	// Every probe rebuilds the run identically; determinism makes replay-
+	// to-event-N a pure function of N.
+	build := func() (*machine.Machine, []cpu.Program, error) {
+		spec, err := workload.Get(*wl)
+		if err != nil {
+			return nil, nil, err
+		}
+		inst, err := spec.Build(workload.Params{
+			Threads: *threads,
+			Seed:    *seed,
+			Scale:   *scale,
+			Input:   *input,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := machine.DefaultConfig()
+		cfg.Policy = *policy
+		cfg.Check = &check.Config{MaxMSHRs: *maxMSHRs, MaxBusyLines: *maxBusy}
+		m, err := machine.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if *chaosLevel > 0 {
+			inj, err := chaos.New(*chaosSeed, *chaosLevel)
+			if err != nil {
+				return nil, nil, err
+			}
+			inj.Attach(m)
+		}
+		if inst.Setup != nil {
+			inst.Setup(m.Sys.Data)
+		}
+		return m, inst.Programs, nil
+	}
+
+	// probe reports whether the prefix of the run up to event has already
+	// violated: the replay aborts with a violation on the way there, or the
+	// paused state fails a full coherence audit.
+	probe := func(event uint64) (bool, *check.Violation, error) {
+		m, progs, err := build()
+		if err != nil {
+			return false, nil, err
+		}
+		res, err := m.RunTo(progs, event)
+		if err != nil {
+			var v *check.Violation
+			if errors.As(err, &v) {
+				return true, v, nil
+			}
+			return false, nil, err
+		}
+		if res != nil {
+			// Completed cleanly before the pause target: this prefix is the
+			// whole run minus the drain, so the violation is later.
+			return false, nil, nil
+		}
+		if v := m.Sys.AuditCoherence(); v != nil {
+			return true, v, nil
+		}
+		return false, nil, nil
+	}
+
+	m, progs, err := build()
+	if err != nil {
+		return err
+	}
+	res, err := m.Run(progs)
+	if err == nil {
+		fmt.Printf("run completed clean (%d events) — nothing to bisect\n", res.SimEvents)
+		return nil
+	}
+	var first *check.Violation
+	if !errors.As(err, &first) {
+		return fmt.Errorf("bisect: run failed without a violation: %w", err)
+	}
+	hi := m.Sys.Engine.Executed()
+	fmt.Printf("full run violated after %d events: %s violation at cycle %d\n",
+		hi, first.Kind, first.Time)
+
+	lo := uint64(0)
+	if *ckptFile != "" {
+		f, err := os.Open(*ckptFile)
+		if err != nil {
+			return err
+		}
+		ck, err := dynamo.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if ck.Event >= hi {
+			return fmt.Errorf("bisect: checkpoint at event %d is not below the failure at %d", ck.Event, hi)
+		}
+		// The checkpoint must be a clean prefix for the search invariant to
+		// hold; fall back to a full search when it is not.
+		if bad, _, err := probe(ck.Event); err != nil {
+			return err
+		} else if bad {
+			fmt.Fprintf(os.Stderr, "bisect: checkpoint at event %d already violates; searching from event 0\n", ck.Event)
+		} else {
+			lo = ck.Event
+		}
+	}
+
+	span := hi - lo
+	probes := 0
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		bad, v, err := probe(mid)
+		if err != nil {
+			return err
+		}
+		probes++
+		if bad {
+			hi, first = mid, v
+		} else {
+			lo = mid
+		}
+		fmt.Fprintf(os.Stderr, "bisect: events (%d, %d] after %d replays\n", lo, hi, probes)
+	}
+
+	fmt.Printf("first violating prefix: %d events (window (%d, %d], %d replays over a %d-event span)\n",
+		hi, lo, hi, probes, span)
+	fmt.Println(first.Error())
 	return nil
 }

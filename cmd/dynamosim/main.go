@@ -9,20 +9,68 @@
 //	dynamosim -workload histogram -interval 50000 -interval-csv intervals.csv
 //	dynamosim -workload histogram -check
 //	dynamosim -workload histogram -check -chaos-seed 7 -chaos-level 2
+//	dynamosim -workload histogram -ckpt run.ckpt -ckpt-every 5000000
+//	dynamosim -workload histogram -resume run.ckpt
 //	dynamosim -workload histogram -json
 //	dynamosim -list
+//
+// SIGINT/SIGTERM interrupt the run gracefully: with -ckpt set, a final
+// checkpoint is written before exiting, and a later invocation with
+// -resume continues the run to a byte-identical result.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 
 	"dynamo"
 	"dynamo/internal/cliflags"
 )
+
+// writeCheckpoint atomically replaces path with ck (temp file + rename),
+// so an interrupt mid-write never leaves a truncated checkpoint.
+func writeCheckpoint(path string, ck *dynamo.Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(ck); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// exitRunError reports a failed or interrupted run and exits non-zero.
+// An interrupted run with checkpointing enabled prints the resume hint.
+func exitRunError(err error, ckptFile string) {
+	if errors.Is(err, dynamo.ErrInterrupted) {
+		fmt.Fprintln(os.Stderr, "dynamosim: interrupted")
+		if ckptFile != "" {
+			fmt.Fprintf(os.Stderr, "dynamosim: resume with -resume %s\n", ckptFile)
+		}
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
 
 func main() {
 	wl := cliflags.Workload(flag.CommandLine)
@@ -43,6 +91,9 @@ func main() {
 	checkOn := cliflags.Check(flag.CommandLine)
 	chaosSeed := cliflags.ChaosSeed(flag.CommandLine)
 	chaosLevel := cliflags.ChaosLevel(flag.CommandLine)
+	ckptFile := flag.String("ckpt", "", "write checkpoints to this file (periodic with -ckpt-every, final on SIGINT/SIGTERM)")
+	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
+	resumeFile := flag.String("resume", "", "restore the run from this checkpoint file")
 	jsonOut := cliflags.JSON(flag.CommandLine)
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
@@ -113,15 +164,53 @@ func main() {
 		rec = dynamo.NewIntervalRecorder(*interval, 0)
 		opts = append(opts, dynamo.WithInterval(rec))
 	}
+	if *ckptFile != "" {
+		opts = append(opts, dynamo.WithCheckpoint(*ckptEvery, func(ck *dynamo.Checkpoint) {
+			if err := writeCheckpoint(*ckptFile, ck); err != nil {
+				fmt.Fprintf(os.Stderr, "dynamosim: checkpoint write failed: %v\n", err)
+			}
+		}))
+	}
+	// SIGINT/SIGTERM cancel the run instead of killing the process: the
+	// machine captures a final checkpoint (with -ckpt) and unwinds.
+	interrupt := make(chan struct{})
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-signals
+		signal.Stop(signals)
+		close(interrupt)
+	}()
+	opts = append(opts, dynamo.WithInterrupt(interrupt))
+
 	session, err := dynamo.New(cfg, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := session.Run(*wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var res *dynamo.Result
+	if *resumeFile != "" {
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ck, err := dynamo.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dynamosim: resuming from %s (event %d)\n", *resumeFile, ck.Event)
+		res, err = session.Resume(*wl, ck)
+		if err != nil {
+			exitRunError(err, *ckptFile)
+		}
+	} else {
+		res, err = session.Run(*wl)
+		if err != nil {
+			exitRunError(err, *ckptFile)
+		}
 	}
 
 	writeFile := func(name string, write func(f *os.File) error) {

@@ -223,6 +223,15 @@ type Options struct {
 	// leave the run unperturbed.
 	ChaosSeed  int64
 	ChaosLevel int
+	// CkptEvery and CkptSink enable periodic checkpoint capture (see
+	// WithCheckpoint).
+	CkptEvery uint64
+	CkptSink  func(*Checkpoint)
+	// Interrupt cancels the run once signaled or closed (see
+	// WithInterrupt).
+	Interrupt <-chan struct{}
+	// resume restores the run from a checkpoint (Session.Resume).
+	resume *Checkpoint
 }
 
 func (o Options) fill() (Options, Config, error) {
@@ -322,6 +331,9 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 	}
 	cfg.Obs = opts.Obs
 	cfg.Interval = opts.Interval
+	cfg.CkptEvery = opts.CkptEvery
+	cfg.CkptSink = opts.CkptSink
+	cfg.Interrupt = opts.Interrupt
 	if opts.Check {
 		cfg.Check = &check.Config{}
 	}
@@ -344,7 +356,12 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 	if inst.Setup != nil {
 		inst.Setup(m.Sys.Data)
 	}
-	res, err := m.Run(inst.Programs)
+	var res *Result
+	if opts.resume != nil {
+		res, err = m.RunFrom(inst.Programs, opts.resume)
+	} else {
+		res, err = m.Run(inst.Programs)
+	}
 	if err != nil {
 		return nil, err
 	}

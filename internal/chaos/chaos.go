@@ -113,6 +113,33 @@ func (in *Injector) Attach(m *machine.Machine) {
 		}
 		eng.Schedule(period, tick)
 	}
+	// The injector's stream positions are part of the machine state: a
+	// checkpoint of a chaotic run must pin every stream so a restore (which
+	// rebuilds an identically seeded injector and replays) can verify it
+	// reproduced the same perturbation schedule.
+	m.RegisterCkptState("chaos", func() any { return in.snapshot() })
+}
+
+// snapshot is the serializable injector state: configuration plus the
+// position of every perturbation stream.
+type snapshot struct {
+	Seed  int64      `json:"seed"`
+	Level int        `json:"level"`
+	Mesh  uint64     `json:"mesh"`
+	Mem   uint64     `json:"mem"`
+	Snoop uint64     `json:"snoop"`
+	Skew  []sim.Tick `json:"skew,omitempty"`
+}
+
+func (in *Injector) snapshot() snapshot {
+	return snapshot{
+		Seed:  in.seed,
+		Level: in.level,
+		Mesh:  in.mesh.x,
+		Mem:   in.mem.x,
+		Snoop: in.snoop.x,
+		Skew:  in.skew,
+	}
 }
 
 // stream is a splitmix64 pseudo-random stream: tiny, seedable, and with no

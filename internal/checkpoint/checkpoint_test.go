@@ -1,0 +1,159 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"dynamo/internal/checkpoint"
+	"dynamo/internal/machine"
+	"dynamo/internal/workload"
+)
+
+// capture runs histogram to a pause point and returns the serialized
+// checkpoint plus a builder for fresh instances of the same workload.
+func capture(t *testing.T) ([]byte, func() *workload.Instance) {
+	t.Helper()
+	spec, err := workload.Get("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func() *workload.Instance {
+		inst, err := spec.Build(workload.Params{Threads: 4, Seed: 1, Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	inst := build()
+	m := newMachine(t, "all-near", inst, 0, 0)
+	res, err := m.RunTo(inst.Programs, 5000)
+	if err != nil || res != nil {
+		t.Fatalf("RunTo = %v, %v; want a paused run", res, err)
+	}
+	var buf bytes.Buffer
+	if err := m.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), build
+}
+
+func TestReadValid(t *testing.T) {
+	raw, _ := capture(t)
+	ck, err := checkpoint.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Schema != checkpoint.SchemaVersion || ck.Event != 5000 || ck.StateDigest == "" {
+		t.Errorf("checkpoint = schema %d event %d digest %q", ck.Schema, ck.Event, ck.StateDigest)
+	}
+}
+
+// TestReadSchemaMismatch asserts schema drift wins over the (now stale)
+// digest: the reader must not interpret a future layout's state image.
+func TestReadSchemaMismatch(t *testing.T) {
+	raw, _ := capture(t)
+	var ck checkpoint.Checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.Schema = checkpoint.SchemaVersion + 1
+	tampered, err := json.Marshal(&ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Read(bytes.NewReader(tampered)); !errors.Is(err, checkpoint.ErrIncompatible) {
+		t.Fatalf("Read = %v, want ErrIncompatible", err)
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	raw, _ := capture(t)
+	for _, n := range []int{0, 1, len(raw) / 2, len(raw) - 2} {
+		if _, err := checkpoint.Read(bytes.NewReader(raw[:n])); !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Errorf("Read(%d of %d bytes) = %v, want ErrCorrupt", n, len(raw), err)
+		}
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := checkpoint.Read(bytes.NewReader([]byte("not a checkpoint"))); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("Read = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadTamperedState flips state under an unchanged digest: the
+// digest verification must reject it as corrupt.
+func TestReadTamperedState(t *testing.T) {
+	raw, _ := capture(t)
+	var ck checkpoint.Checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.State.Engine.Now++
+	tampered, err := json.Marshal(&ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Read(bytes.NewReader(tampered)); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("Read = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRunFromDiverged re-digests a tampered state so the file reads as
+// structurally valid, then asserts the replay cross-validation catches
+// that the configuration does not reproduce it.
+func TestRunFromDiverged(t *testing.T) {
+	raw, build := capture(t)
+	var ck checkpoint.Checkpoint
+	if err := json.Unmarshal(raw, &ck); err != nil {
+		t.Fatal(err)
+	}
+	ck.State.Engine.Now += 17
+	digest, err := checkpoint.DigestState(&ck.State)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.StateDigest = digest
+	tampered, err := json.Marshal(&ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := checkpoint.Read(bytes.NewReader(tampered))
+	if err != nil {
+		t.Fatalf("tampered-but-redigested checkpoint failed structural validation: %v", err)
+	}
+	inst := build()
+	m := newMachine(t, "all-near", inst, 0, 0)
+	if _, err := m.RunFrom(inst.Programs, parsed); !errors.Is(err, checkpoint.ErrDiverged) {
+		t.Fatalf("RunFrom = %v, want ErrDiverged", err)
+	}
+}
+
+// TestRunFromWrongConfig restores a checkpoint on a machine whose timing
+// configuration differs: the deterministic replay lands in a different
+// state and must report divergence, not garbage.
+func TestRunFromWrongConfig(t *testing.T) {
+	raw, build := capture(t)
+	ck, err := checkpoint.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := build()
+	cfg := smallCfg("all-near")
+	cfg.Chi.L1Latency++
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Setup != nil {
+		inst.Setup(m.Sys.Data)
+	}
+	if _, err := m.RunFrom(inst.Programs, ck); !errors.Is(err, checkpoint.ErrDiverged) {
+		t.Fatalf("RunFrom under a different configuration = %v, want ErrDiverged", err)
+	}
+}

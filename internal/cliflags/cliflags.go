@@ -74,3 +74,21 @@ func ChaosSeed(fs *flag.FlagSet) *int64 {
 func ChaosLevel(fs *flag.FlagSet) *int {
 	return fs.Int("chaos-level", 0, "fault-injection intensity 0..3 (0 with -chaos-seed set selects level 1)")
 }
+
+// CkptEvery registers -ckpt-every: the periodic checkpoint interval in
+// simulation events. Zero disables periodic checkpoints.
+func CkptEvery(fs *flag.FlagSet) *uint64 {
+	return fs.Uint64("ckpt-every", 0, "checkpoint every N simulation events (0 = off)")
+}
+
+// Resume registers -resume: restore interrupted work from persisted
+// checkpoints.
+func Resume(fs *flag.FlagSet) *bool {
+	return fs.Bool("resume", false, "resume interrupted runs from their checkpoints")
+}
+
+// Retries registers -retries: bounded re-execution of transiently failed
+// sweep jobs before quarantine.
+func Retries(fs *flag.FlagSet) *int {
+	return fs.Int("retries", 0, "retry transiently failed jobs up to N times before quarantine")
+}

@@ -1,0 +1,69 @@
+package core
+
+import "dynamo/internal/memory"
+
+// This file captures serializable snapshots of predictor state for
+// checkpointing. Entries are emitted in cache.Range order (set-major,
+// MRU-first), which encodes AMT replacement state canonically.
+
+// ReuseEntryState is one AMT entry of the reuse predictor.
+type ReuseEntryState struct {
+	Line       memory.Line
+	Confidence uint8
+	ReuseBit   bool
+	Tracking   bool
+}
+
+// ReuseCoreState is one core's reuse-predictor state.
+type ReuseCoreState struct {
+	AMT       []ReuseEntryState
+	AMOFills  uint64
+	AMOReused uint64
+}
+
+// CheckpointState returns a serializable image of the predictor, consumed
+// by internal/checkpoint via the machine's optional-interface hook.
+func (r *Reuse) CheckpointState() any {
+	cores := make([]ReuseCoreState, len(r.cores))
+	for i := range r.cores {
+		c := &r.cores[i]
+		cs := ReuseCoreState{AMOFills: c.amoFills, AMOReused: c.amoReused}
+		c.amt.Range(func(k uint64, e *reuseEntry) bool {
+			cs.AMT = append(cs.AMT, ReuseEntryState{
+				Line:       memory.Line(k),
+				Confidence: e.confidence,
+				ReuseBit:   e.reuseBit,
+				Tracking:   e.tracking,
+			})
+			return true
+		})
+		cores[i] = cs
+	}
+	return cores
+}
+
+// MetricEntryState is one AMT entry of the metric predictor.
+type MetricEntryState struct {
+	Line          memory.Line
+	NearCompleted uint32
+	Invalidations uint32
+}
+
+// CheckpointState returns a serializable image of the predictor, consumed
+// by internal/checkpoint via the machine's optional-interface hook.
+func (m *Metric) CheckpointState() any {
+	tables := make([][]MetricEntryState, len(m.tables))
+	for i, t := range m.tables {
+		var es []MetricEntryState
+		t.Range(func(k uint64, e *metricEntry) bool {
+			es = append(es, MetricEntryState{
+				Line:          memory.Line(k),
+				NearCompleted: e.nearCompleted,
+				Invalidations: e.invalidations,
+			})
+			return true
+		})
+		tables[i] = es
+	}
+	return tables
+}

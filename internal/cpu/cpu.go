@@ -16,6 +16,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 
 	"dynamo/internal/chi"
 	"dynamo/internal/memory"
@@ -396,6 +397,46 @@ func (c *Core) execute(o op) {
 			}
 			return !isAMO || c.outstandingAMO < c.cfg.MaxAtomics
 		}, issue)
+	}
+}
+
+// PendingWord is one (word, in-flight posted writes) pair of a snapshot.
+type PendingWord struct {
+	Addr  memory.Addr
+	Count int
+}
+
+// Snapshot is a serializable image of the core's externally visible state.
+// The blocked continuation itself cannot be serialized; Blocked records
+// only whether one is pending — checkpoint verification replays the
+// deterministic event stream, which reconstructs the continuation.
+type Snapshot struct {
+	Started        bool
+	Finished       bool
+	Blocked        bool
+	Outstanding    int
+	OutstandingAMO int
+	Instructions   uint64
+	FinishedAt     sim.Tick
+	PendingWords   []PendingWord
+}
+
+// Snapshot captures the core state in canonical (address-sorted) order.
+func (c *Core) Snapshot() Snapshot {
+	words := make([]PendingWord, 0, len(c.pendingWords))
+	for a, n := range c.pendingWords {
+		words = append(words, PendingWord{Addr: a, Count: n})
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i].Addr < words[j].Addr })
+	return Snapshot{
+		Started:        c.started,
+		Finished:       c.finished,
+		Blocked:        c.resume != nil,
+		Outstanding:    c.outstanding,
+		OutstandingAMO: c.outstandingAMO,
+		Instructions:   c.Instructions,
+		FinishedAt:     c.FinishedAt,
+		PendingWords:   words,
 	}
 }
 

@@ -40,6 +40,16 @@ type Options struct {
 	CacheDir string
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Retries re-executes transiently failed jobs before quarantine (see
+	// runner.Options.Retries).
+	Retries int
+	// CkptEvery, with a cache directory, checkpoints running jobs every
+	// CkptEvery events so a killed suite run can resume.
+	CkptEvery uint64
+	// Resume restores interrupted jobs from their persisted checkpoints.
+	Resume bool
+	// Interrupt, when non-nil, cancels the suite once signaled or closed.
+	Interrupt <-chan struct{}
 }
 
 func (o Options) fill() Options {
@@ -80,9 +90,13 @@ type runKey struct {
 func NewSuite(o Options) *Suite {
 	o = o.fill()
 	return &Suite{opts: o, r: runner.New(runner.Options{
-		Jobs:     o.Workers,
-		CacheDir: o.CacheDir,
-		Log:      o.Log,
+		Jobs:      o.Workers,
+		CacheDir:  o.CacheDir,
+		Log:       o.Log,
+		Retries:   o.Retries,
+		CkptEvery: o.CkptEvery,
+		Resume:    o.Resume,
+		Interrupt: o.Interrupt,
 	})}
 }
 

@@ -118,3 +118,17 @@ func (m *Memory) Write(line memory.Line, now sim.Tick) sim.Tick {
 
 // Stats returns a copy of the accumulated counters.
 func (m *Memory) Stats() Stats { return m.stats }
+
+// Snapshot is a serializable image of the memory state: traffic counters
+// plus each channel's next-idle cycle.
+type Snapshot struct {
+	Stats    Stats
+	NextFree []sim.Tick
+}
+
+// Snapshot captures the memory state.
+func (m *Memory) Snapshot() Snapshot {
+	nf := make([]sim.Tick, len(m.nextFree))
+	copy(nf, m.nextFree)
+	return Snapshot{Stats: m.stats, NextFree: nf}
+}

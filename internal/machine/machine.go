@@ -5,9 +5,12 @@
 package machine
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"dynamo/internal/check"
+	"dynamo/internal/checkpoint"
 	"dynamo/internal/chi"
 	"dynamo/internal/core"
 	"dynamo/internal/cpu"
@@ -55,6 +58,21 @@ type Config struct {
 	// default (20M events); the watchdog is always on because a livelocked
 	// run otherwise burns the full MaxEvents budget before reporting.
 	WatchdogEvents uint64
+	// CkptEvery, when nonzero with CkptSink set, captures a checkpoint
+	// every CkptEvery executed events.
+	CkptEvery uint64
+	// CkptSink receives periodic checkpoints (see CkptEvery) plus the
+	// final checkpoint of an interrupted run. Capture is read-only, so a
+	// sink never perturbs the simulation.
+	CkptSink func(*checkpoint.Checkpoint)
+	// CkptIdentity names the run in captured checkpoints (the runner uses
+	// the request digest); RunFrom rejects a checkpoint whose identity
+	// differs.
+	CkptIdentity string
+	// Interrupt, when non-nil, is polled during the run: once it is
+	// signaled or closed, the run captures a final checkpoint to CkptSink
+	// and aborts with ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // DefaultConfig reproduces Table II scaled to cycle-level first-order
@@ -122,6 +140,11 @@ func (c Config) Validate() error {
 // ErrTimeout reports a run that exceeded its event budget.
 var ErrTimeout = fmt.Errorf("machine: run exceeded its event budget")
 
+// ErrInterrupted reports a run aborted by Config.Interrupt. It is
+// returned bare (no RunError diagnostic): the machine state is healthy,
+// and a final checkpoint was offered to Config.CkptSink before the abort.
+var ErrInterrupted = fmt.Errorf("machine: run interrupted")
+
 // Result summarizes one completed run.
 type Result struct {
 	Policy string
@@ -139,10 +162,14 @@ type Result struct {
 	APKI float64
 	// AvgAMOLatency is the mean issue-to-complete AMO latency in cycles.
 	AvgAMOLatency float64
-	Events        energy.Events
-	Energy        energy.Breakdown
-	NoC           noc.Stats
-	Mem           hbm.Stats
+	// SimEvents is the total number of kernel events the run executed,
+	// including the post-completion drain — the coordinate space of
+	// checkpoint split points and bisection windows.
+	SimEvents uint64
+	Events    energy.Events
+	Energy    energy.Breakdown
+	NoC       noc.Stats
+	Mem       hbm.Stats
 	// Obs digests the run's observability data (latency histograms per
 	// transaction class and phase, occupancy spans, predictor counters).
 	// Nil unless the machine was built with Config.Obs.
@@ -161,6 +188,60 @@ type Machine struct {
 	Sys    *chi.System
 	Policy chi.Policy
 	model  energy.Model
+	// extra holds registered checkpoint-state providers (RegisterCkptState)
+	// in registration order.
+	extra []extraState
+	// rs is the state of the in-progress run; nil before begin.
+	rs *runState
+}
+
+// extraState is one registered component-state provider for checkpoints.
+type extraState struct {
+	name string
+	fn   func() any
+}
+
+// RegisterCkptState adds a named component-state provider to the
+// machine's checkpoints — used by components outside the machine's own
+// wiring (e.g. the chaos injector) whose state must round-trip. fn must
+// return a JSON-serializable, canonically ordered value and must not
+// mutate simulation state. Registration order is irrelevant: checkpoint
+// state is keyed by name in a sorted map.
+func (m *Machine) RegisterCkptState(name string, fn func() any) {
+	m.extra = append(m.extra, extraState{name: name, fn: fn})
+}
+
+// runState carries one run's loop state across drive calls, so a run can
+// pause at an event index (checkpoint capture), resume, and still make
+// exactly the same per-event decisions as an uninterrupted run.
+type runState struct {
+	programs []cpu.Program
+	cores    []*cpu.Core
+	finished int
+	// ended stops the aging and sampling ticks once the run leaves the
+	// main loop (so the drain does not keep rescheduling them).
+	ended bool
+
+	budget   uint64
+	watchdog uint64
+
+	auditEvery   uint64
+	nextAudit    uint64
+	lastInstr    uint64
+	lastProgress uint64
+	nextCheck    uint64
+	nextCkpt     uint64
+
+	// pauseAt, when nonzero, makes the run loop pause (cond true, paused
+	// set) at the first event index >= pauseAt.
+	pauseAt uint64
+	// replaying suppresses checkpoint sinking while RunFrom replays the
+	// prefix of a restored run.
+	replaying bool
+
+	stalled     bool
+	paused      bool
+	interrupted bool
 }
 
 // New builds a machine from cfg, constructing the policy from its
@@ -219,128 +300,307 @@ type ager interface{ Age() }
 // finish, and returns the collected result. A Machine is single-use: build
 // a fresh one per run.
 func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
-	if len(programs) == 0 || len(programs) > m.Cfg.Chi.Cores {
-		return nil, fmt.Errorf("machine: %d programs for %d cores", len(programs), m.Cfg.Chi.Cores)
+	if err := m.begin(programs); err != nil {
+		return nil, err
 	}
-	stopAging := false
+	return m.Resume()
+}
+
+// RunTo executes programs until the kernel has run at least event events,
+// pausing there. It returns (nil, nil) when paused — call Checkpoint to
+// capture the state and Resume to continue — or the final result if the
+// programs completed before reaching event (Paused reports which).
+func (m *Machine) RunTo(programs []cpu.Program, event uint64) (*Result, error) {
+	if err := m.begin(programs); err != nil {
+		return nil, err
+	}
+	m.rs.pauseAt = event
+	return m.drive()
+}
+
+// Paused reports whether the run is paused at an event index (RunTo
+// reached its target, the programs still running).
+func (m *Machine) Paused() bool { return m.rs != nil && m.rs.paused }
+
+// Resume continues a paused run to completion.
+func (m *Machine) Resume() (*Result, error) {
+	if m.rs == nil {
+		return nil, fmt.Errorf("machine: Resume without a begun run")
+	}
+	m.rs.pauseAt = 0
+	m.rs.paused = false
+	res, err := m.drive()
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		// A pause target was re-armed mid-resume; callers of Resume always
+		// drive to completion, so this indicates misuse.
+		return nil, fmt.Errorf("machine: run paused during Resume")
+	}
+	return res, nil
+}
+
+// RunFrom restores a checkpoint: it rebuilds the run from its programs,
+// replays the deterministic event stream to the checkpoint's event index,
+// cross-validates the reconstructed state against the stored digest
+// bit-exactly, and continues to completion. The machine must have been
+// built with the same configuration (and chaos wiring) as the run that
+// captured the checkpoint; a reconstruction mismatch returns
+// checkpoint.ErrDiverged, an identity mismatch checkpoint.ErrIncompatible.
+func (m *Machine) RunFrom(programs []cpu.Program, ck *checkpoint.Checkpoint) (*Result, error) {
+	if ck == nil {
+		return nil, fmt.Errorf("machine: RunFrom with nil checkpoint")
+	}
+	if err := ck.Compatible(m.Cfg.CkptIdentity); err != nil {
+		return nil, err
+	}
+	if err := m.begin(programs); err != nil {
+		return nil, err
+	}
+	m.rs.pauseAt = ck.Event
+	m.rs.replaying = true
+	res, err := m.drive()
+	if err != nil {
+		return nil, err
+	}
+	if res != nil {
+		// The original run had not completed at ck.Event (it captured a
+		// checkpoint there), so completing earlier is a divergence.
+		m.abortCores()
+		return nil, fmt.Errorf("%w: replay completed at event %d, before the checkpoint's event %d",
+			checkpoint.ErrDiverged, m.Sys.Engine.Executed(), ck.Event)
+	}
+	st, err := m.captureState()
+	if err != nil {
+		m.abortCores()
+		return nil, err
+	}
+	digest, err := checkpoint.DigestState(&st)
+	if err != nil {
+		m.abortCores()
+		return nil, err
+	}
+	if digest != ck.StateDigest {
+		m.abortCores()
+		return nil, fmt.Errorf("%w: state digest %s at event %d, checkpoint has %s",
+			checkpoint.ErrDiverged, digest[:12], ck.Event, ck.StateDigest[:12])
+	}
+	m.rs.replaying = false
+	if m.Cfg.CkptEvery > 0 {
+		m.rs.nextCkpt = ck.Event + m.Cfg.CkptEvery
+	}
+	return m.Resume()
+}
+
+// Checkpoint captures the paused run's complete state and serializes it
+// to w. Only a paused run (RunTo) has a well-defined event index to
+// checkpoint at; periodic and interrupt checkpoints go through
+// Config.CkptSink instead.
+func (m *Machine) Checkpoint(w io.Writer) error {
+	ck, err := m.captureCheckpoint()
+	if err != nil {
+		return err
+	}
+	return checkpoint.Write(w, ck)
+}
+
+// Restore parses and structurally validates a serialized checkpoint; pass
+// the result to RunFrom. Schema drift returns checkpoint.ErrIncompatible,
+// parse and digest failures checkpoint.ErrCorrupt.
+func Restore(r io.Reader) (*checkpoint.Checkpoint, error) {
+	return checkpoint.Read(r)
+}
+
+// begin builds the run state: cores, aging and sampling ticks, watchdog
+// and audit bookkeeping. It is the shared front half of Run/RunTo/RunFrom.
+func (m *Machine) begin(programs []cpu.Program) error {
+	if len(programs) == 0 || len(programs) > m.Cfg.Chi.Cores {
+		return fmt.Errorf("machine: %d programs for %d cores", len(programs), m.Cfg.Chi.Cores)
+	}
+	if m.rs != nil {
+		return fmt.Errorf("machine: already ran — a Machine is single-use")
+	}
+	eng := m.Sys.Engine
+	rs := &runState{programs: programs, cores: make([]*cpu.Core, len(programs))}
+	m.rs = rs
 	if a, ok := m.Policy.(ager); ok {
 		var tick func()
 		tick = func() {
-			if stopAging {
+			if rs.ended {
 				return // let the queue drain after the run completes
 			}
 			a.Age()
-			m.Sys.Engine.Schedule(agingPeriod, tick)
+			eng.Schedule(agingPeriod, tick)
 		}
-		m.Sys.Engine.Schedule(agingPeriod, tick)
+		eng.Schedule(agingPeriod, tick)
 	}
-	finished := 0
-	cores := make([]*cpu.Core, len(programs))
-	stopSampling := false
 	if rec := m.Cfg.Interval; rec != nil && rec.Period() > 0 {
 		var tick func()
 		tick = func() {
-			if stopSampling {
+			if rs.ended {
 				return
 			}
-			m.sample(rec, cores)
-			m.Sys.Engine.Schedule(rec.Period(), tick)
+			m.sample(rec, rs.cores)
+			eng.Schedule(rec.Period(), tick)
 		}
-		m.Sys.Engine.Schedule(rec.Period(), tick)
+		eng.Schedule(rec.Period(), tick)
 	}
 	for i, p := range programs {
-		c, err := cpu.New(m.Cfg.CPU, m.Sys.Engine, m.Sys.RNs[i], p, func() { finished++ })
+		c, err := cpu.New(m.Cfg.CPU, eng, m.Sys.RNs[i], p, func() { rs.finished++ })
 		if err != nil {
-			for _, c := range cores {
-				if c != nil {
-					c.Abort()
-				}
-			}
-			return nil, err
+			m.abortCores()
+			return err
 		}
-		cores[i] = c
+		rs.cores[i] = c
 		c.Start(0)
 	}
-	budget := m.Cfg.MaxEvents
-	if budget == 0 {
-		budget = defaultMaxEvents
+	rs.budget = m.Cfg.MaxEvents
+	if rs.budget == 0 {
+		rs.budget = defaultMaxEvents
 	}
+	rs.watchdog = m.Cfg.WatchdogEvents
+	if rs.watchdog == 0 {
+		rs.watchdog = defaultWatchdogEvents
+	}
+	rs.auditEvery = m.Sys.Check.Interval()
+	rs.nextAudit = eng.Executed() + rs.auditEvery
+	rs.lastInstr = m.instrTotal()
+	rs.lastProgress = eng.Executed()
+	rs.nextCheck = eng.Executed() + progressStride
+	if m.Cfg.CkptEvery > 0 {
+		rs.nextCkpt = eng.Executed() + m.Cfg.CkptEvery
+	}
+	return nil
+}
+
+// instrTotal sums committed instructions across the run's cores.
+func (m *Machine) instrTotal() uint64 {
+	var n uint64
+	for _, c := range m.rs.cores {
+		if c != nil {
+			n += c.Instructions
+		}
+	}
+	return n
+}
+
+// abortCores terminates every program goroutine of an abandoned run.
+func (m *Machine) abortCores() {
+	for _, c := range m.rs.cores {
+		if c != nil {
+			c.Abort()
+		}
+	}
+}
+
+// drive runs the kernel until the programs complete, the pause target is
+// reached, or the run fails. It is the shared back half of
+// Run/RunTo/RunFrom/Resume; all loop state lives in m.rs, so a
+// pause/resume sequence makes exactly the same per-event decisions — and
+// therefore produces bit-identical state — as an uninterrupted run.
+func (m *Machine) drive() (*Result, error) {
+	rs := m.rs
 	eng := m.Sys.Engine
 
-	// The run condition doubles as the forward-progress watchdog and the
-	// periodic-audit driver; every progressStride events it re-reads the
-	// committed-instruction total and, with a sanitizer attached, walks
-	// the coherence audit at its configured interval.
-	watchdog := m.Cfg.WatchdogEvents
-	if watchdog == 0 {
-		watchdog = defaultWatchdogEvents
-	}
-	instrTotal := func() uint64 {
-		var n uint64
-		for _, c := range cores {
-			if c != nil {
-				n += c.Instructions
-			}
-		}
-		return n
-	}
-	auditEvery := m.Sys.Check.Interval()
-	nextAudit := eng.Executed() + auditEvery
-	stalled := false
-	lastInstr := instrTotal()
-	lastProgress := eng.Executed()
-	nextCheck := eng.Executed() + progressStride
+	// The run condition doubles as the forward-progress watchdog, the
+	// periodic-audit driver, the auto-checkpoint trigger and the interrupt
+	// poll; every progressStride events it re-reads the
+	// committed-instruction total and walks its periodic duties. The
+	// pause check runs every event (pause targets are not
+	// stride-quantized) and precedes the strided block, so a paused-and-
+	// resumed run executes the block exactly once per stride boundary,
+	// like an uninterrupted run.
 	cond := func() bool {
-		if finished == len(programs) {
+		if rs.finished == len(rs.programs) {
 			return true
 		}
 		x := eng.Executed()
-		if x < nextCheck {
-			return false
-		}
-		nextCheck = x + progressStride
-		if n := instrTotal(); n != lastInstr {
-			lastInstr = n
-			lastProgress = x
-		} else if x-lastProgress >= watchdog {
-			stalled = true
+		if rs.pauseAt > 0 && x >= rs.pauseAt {
+			rs.paused = true
 			return true
 		}
-		if auditEvery > 0 && x >= nextAudit {
-			nextAudit = x + auditEvery
+		// Auto-checkpoints fire at event granularity, not stride
+		// granularity, so short runs still checkpoint. Capture is
+		// read-only, so it cannot perturb the replayed event stream.
+		if m.Cfg.CkptEvery > 0 && m.Cfg.CkptSink != nil && !rs.replaying && x >= rs.nextCkpt {
+			rs.nextCkpt = x + m.Cfg.CkptEvery
+			if ck, err := m.captureCheckpoint(); err == nil {
+				m.Cfg.CkptSink(ck)
+			}
+		}
+		if x < rs.nextCheck {
+			return false
+		}
+		rs.nextCheck = x + progressStride
+		if n := m.instrTotal(); n != rs.lastInstr {
+			rs.lastInstr = n
+			rs.lastProgress = x
+		} else if x-rs.lastProgress >= rs.watchdog {
+			rs.stalled = true
+			return true
+		}
+		if rs.auditEvery > 0 && x >= rs.nextAudit {
+			rs.nextAudit = x + rs.auditEvery
 			m.Sys.Fail(m.Sys.AuditCoherence())
+		}
+		if m.Cfg.Interrupt != nil && !rs.interrupted {
+			select {
+			case <-m.Cfg.Interrupt:
+				rs.interrupted = true
+				return true
+			default:
+			}
 		}
 		return false
 	}
-	ok := eng.RunUntil(cond, budget)
-	stopAging = true
-	stopSampling = true
+	// The event budget is cumulative across pauses: each drive gets what
+	// the previous ones left. RunUntil treats 0 as unlimited, so an
+	// exhausted budget short-circuits to the timeout path instead.
+	var ok bool
+	if remaining := rs.budget - eng.Executed(); rs.budget > eng.Executed() {
+		ok = eng.RunUntil(cond, remaining)
+	}
 	fail := func(cause error) (*Result, error) {
-		for _, c := range cores {
-			if c != nil {
-				c.Abort()
-			}
-		}
+		rs.ended = true
+		m.abortCores()
 		if v, isViolation := cause.(*check.Violation); isViolation {
 			// A violation is its own diagnostic: it carries the protocol
 			// trail, and the machine state after it is not trustworthy.
 			return nil, v
 		}
-		return nil, &RunError{Cause: cause, Diag: m.diagnose(finished, len(programs), cores)}
+		return nil, &RunError{Cause: cause, Diag: m.diagnose(rs.finished, len(rs.programs), rs.cores)}
 	}
 	if v := m.Sys.Violation; v != nil {
 		return fail(v)
 	}
-	if stalled {
+	if rs.stalled {
 		return fail(ErrStalled)
 	}
+	if rs.interrupted {
+		// Capture the final checkpoint before aborting: Abort mutates core
+		// state, so it must come second. Interrupted runs return the bare
+		// sentinel — the state is healthy and resumable, not diagnostic.
+		if m.Cfg.CkptSink != nil {
+			if ck, err := m.captureCheckpoint(); err == nil {
+				m.Cfg.CkptSink(ck)
+			}
+		}
+		rs.ended = true
+		m.abortCores()
+		return nil, ErrInterrupted
+	}
+	if rs.paused {
+		return nil, nil
+	}
 	if !ok {
-		if finished < len(programs) && eng.Pending() == 0 {
+		if rs.finished < len(rs.programs) && eng.Pending() == 0 {
 			return fail(fmt.Errorf("machine: deadlock — %d/%d programs finished and no events pending",
-				finished, len(programs)))
+				rs.finished, len(rs.programs)))
 		}
 		return fail(ErrTimeout)
 	}
+	rs.ended = true
 	eng.Run(0) // drain writebacks and in-flight background work
 	if v := m.Sys.Violation; v != nil {
 		// Release-time audits keep running while the queue drains.
@@ -359,9 +619,62 @@ func (m *Machine) Run(programs []cpu.Program) (*Result, error) {
 	}
 	if rec := m.Cfg.Interval; rec != nil {
 		// Close the partial tail interval so the series covers the full run.
-		m.sample(rec, cores)
+		m.sample(rec, rs.cores)
 	}
-	return m.collect(cores), nil
+	return m.collect(rs.cores), nil
+}
+
+// captureState assembles the complete serializable machine image. Every
+// read is side-effect free (cache Range/Peek, stats copies, pure
+// reports), so capture never perturbs the simulation.
+func (m *Machine) captureState() (checkpoint.State, error) {
+	st := checkpoint.State{
+		Engine: m.Sys.Engine.Snapshot(),
+		NoC:    m.Sys.Mesh.Snapshot(),
+		Mem:    m.Sys.Mem.Snapshot(),
+		Data:   m.Sys.Data.Words(),
+		Check:  m.Sys.Check.Report(),
+		Obs:    m.Sys.Obs.Report(),
+	}
+	for _, c := range m.rs.cores {
+		st.Cores = append(st.Cores, c.Snapshot())
+	}
+	for _, rn := range m.Sys.RNs {
+		st.RNs = append(st.RNs, rn.Snapshot())
+	}
+	for _, hn := range m.Sys.HNs {
+		st.HNs = append(st.HNs, hn.Snapshot())
+	}
+	if p, ok := m.Policy.(interface{ CheckpointState() any }); ok {
+		raw, err := json.Marshal(p.CheckpointState())
+		if err != nil {
+			return checkpoint.State{}, fmt.Errorf("machine: encode policy state: %w", err)
+		}
+		st.Policy = raw
+	}
+	for _, ex := range m.extra {
+		raw, err := json.Marshal(ex.fn())
+		if err != nil {
+			return checkpoint.State{}, fmt.Errorf("machine: encode %s state: %w", ex.name, err)
+		}
+		if st.Extra == nil {
+			st.Extra = make(map[string]json.RawMessage)
+		}
+		st.Extra[ex.name] = raw
+	}
+	return st, nil
+}
+
+// captureCheckpoint captures the current state as a digested checkpoint.
+func (m *Machine) captureCheckpoint() (*checkpoint.Checkpoint, error) {
+	if m.rs == nil {
+		return nil, fmt.Errorf("machine: checkpoint requires a begun run")
+	}
+	st, err := m.captureState()
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.New(m.Cfg.CkptIdentity, m.Sys.Engine.Executed(), st)
 }
 
 // sample feeds one cumulative counter reading to the interval recorder.
@@ -384,6 +697,7 @@ func (m *Machine) sample(rec *profile.Recorder, cores []*cpu.Core) {
 // collect aggregates statistics into a Result.
 func (m *Machine) collect(cores []*cpu.Core) *Result {
 	r := &Result{Policy: m.Cfg.Policy, Detail: stats.NewGroup()}
+	r.SimEvents = m.Sys.Engine.Executed()
 	var amoLatencySum, latencySamples uint64
 	for _, c := range cores {
 		r.Instructions += c.Instructions

@@ -218,3 +218,18 @@ func (m *Mesh) Send(src, dst int, flits int, now sim.Tick) sim.Tick {
 
 // Stats returns a copy of the accumulated traffic counters.
 func (m *Mesh) Stats() Stats { return m.stats }
+
+// Snapshot is a serializable image of the mesh state: traffic counters
+// plus every outgoing link's next-idle cycle (the in-flight reservation
+// table that encodes queued flits).
+type Snapshot struct {
+	Stats    Stats
+	NextFree [][4]sim.Tick
+}
+
+// Snapshot captures the mesh state.
+func (m *Mesh) Snapshot() Snapshot {
+	nf := make([][4]sim.Tick, len(m.nextFree))
+	copy(nf, m.nextFree)
+	return Snapshot{Stats: m.stats, NextFree: nf}
+}

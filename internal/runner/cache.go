@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"dynamo/internal/checkpoint"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs/profile"
 )
@@ -51,6 +52,10 @@ func (s *store) failedPath(digest string) string {
 	return filepath.Join(s.dir, digest+".failed.json")
 }
 
+func (s *store) ckptPath(digest string) string {
+	return filepath.Join(s.dir, digest+".ckpt.json")
+}
+
 // errEvicted marks a cache file that existed but was unusable (corrupt,
 // old schema, or digest collision); the caller counts an eviction and
 // re-simulates.
@@ -83,15 +88,37 @@ func (s *store) evict(path string) error {
 	return errEvicted
 }
 
-// save persists an outcome atomically: the entry is written to a
-// temporary file in the cache directory and renamed into place, so a
-// concurrent reader sees either the old entry or the complete new one.
+// writeAtomic writes data to path through a temporary file in the cache
+// directory plus a rename, so a concurrent reader sees either the old
+// file or the complete new one, never a partial write.
+func (s *store) writeAtomic(path string, data []byte) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("runner: creating cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// save persists an outcome atomically.
 func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
 	if s == nil {
 		return nil
-	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("runner: creating cache dir: %w", err)
 	}
 	e := entry{
 		Schema:    entrySchema,
@@ -104,23 +131,9 @@ func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("runner: encoding cache entry: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("runner: writing cache entry: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing cache entry: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing cache entry: %w", err)
-	}
 	digest := q.Digest()
-	if err := os.Rename(tmp.Name(), s.path(digest)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing cache entry: %w", err)
+	if err := s.writeAtomic(s.path(digest), append(data, '\n')); err != nil {
+		return err
 	}
 	// A successful run supersedes any quarantine marker from an earlier
 	// failed attempt (e.g. after a simulator fix).
@@ -135,26 +148,108 @@ type failedEntry struct {
 	Schema int               `json:"schema"`
 	Meta   map[string]string `json:"meta"`
 	Error  string            `json:"error"`
+	// Attempts counts how many times the request has executed and failed,
+	// across retries and across claimed earlier markers.
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // quarantine records a failed run beside the result cache for post-mortem
-// inspection. A nil store drops the record.
-func (s *store) quarantine(q Request, cause error) error {
+// inspection. The write is atomic, so a concurrent worker reading the
+// marker never sees a torn file. A nil store drops the record.
+func (s *store) quarantine(q Request, cause error, attempts int) error {
 	if s == nil {
 		return nil
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("runner: creating cache dir: %w", err)
-	}
-	e := failedEntry{Schema: entrySchema, Meta: q.meta(), Error: cause.Error()}
+	e := failedEntry{Schema: entrySchema, Meta: q.meta(), Error: cause.Error(), Attempts: attempts}
 	data, err := json.MarshalIndent(&e, "", "  ")
 	if err != nil {
 		return fmt.Errorf("runner: encoding quarantine marker: %w", err)
 	}
-	if err := os.WriteFile(s.failedPath(q.Digest()), append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("runner: writing quarantine marker: %w", err)
+	return s.writeAtomic(s.failedPath(q.Digest()), append(data, '\n'))
+}
+
+// claimFailed atomically claims a request's quarantine marker before a
+// re-run. When two workers sharing one cache directory both observe a
+// stale marker, the rename guarantees exactly one of them wins the claim
+// (and inherits the recorded attempt count); the loser sees a clean
+// slate. This replaces the racy read-then-remove sequence in which both
+// workers could fold the same stale attempt count into their accounting.
+func (s *store) claimFailed(digest string) (*failedEntry, bool) {
+	if s == nil {
+		return nil, false
 	}
-	return nil
+	tmp, err := os.CreateTemp(s.dir, ".claim-*")
+	if err != nil {
+		return nil, false
+	}
+	claim := tmp.Name()
+	tmp.Close()
+	os.Remove(claim)
+	// Rename is atomic: of N concurrent claimers each renaming the marker
+	// to its own unique name, exactly one succeeds.
+	if err := os.Rename(s.failedPath(digest), claim); err != nil {
+		return nil, false
+	}
+	defer os.Remove(claim)
+	data, err := os.ReadFile(claim)
+	if err != nil {
+		return nil, true
+	}
+	var e failedEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, true
+	}
+	return &e, true
+}
+
+// saveCkpt atomically persists a job's latest checkpoint as
+// <digest>.ckpt.json: a crash mid-write leaves the previous checkpoint
+// intact, never a truncated file.
+func (s *store) saveCkpt(digest string, ck *checkpoint.Checkpoint) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("runner: encoding checkpoint: %w", err)
+	}
+	return s.writeAtomic(s.ckptPath(digest), append(data, '\n'))
+}
+
+// loadCkpt returns a request's persisted checkpoint, os.ErrNotExist on a
+// clean miss. An unreadable, corrupt, incompatible or misattributed file
+// is removed and its typed cause returned, so the caller counts an
+// eviction and restarts from event zero.
+func (s *store) loadCkpt(q Request) (*checkpoint.Checkpoint, error) {
+	if s == nil {
+		return nil, os.ErrNotExist
+	}
+	digest := q.Digest()
+	path := s.ckptPath(digest)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, os.ErrNotExist
+	}
+	defer f.Close()
+	ck, err := checkpoint.Read(f)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	if err := ck.Compatible(digest); err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return ck, nil
+}
+
+// removeCkpt drops a job's persisted checkpoint (the job completed, or
+// its checkpoint proved unusable).
+func (s *store) removeCkpt(digest string) {
+	if s == nil {
+		return
+	}
+	os.Remove(s.ckptPath(digest))
 }
 
 func metaEqual(a, b map[string]string) bool {

@@ -14,7 +14,7 @@ import (
 func swapExecute(t *testing.T, fn func(Request) (*Outcome, error)) {
 	t.Helper()
 	orig := executeFn
-	executeFn = fn
+	executeFn = func(q Request, _ execCtx) (*Outcome, error) { return fn(q) }
 	t.Cleanup(func() { executeFn = orig })
 }
 
@@ -25,7 +25,7 @@ func TestPanickingJobDoesNotSinkTheSweep(t *testing.T) {
 		if q.Policy == "all-far" {
 			panic("corrupt simulator state")
 		}
-		return execute(q)
+		return execute(q, execCtx{})
 	})
 
 	r := New(Options{Jobs: 2, CacheDir: dir})

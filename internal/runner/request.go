@@ -13,6 +13,7 @@ import (
 
 	"dynamo/internal/chaos"
 	"dynamo/internal/check"
+	"dynamo/internal/checkpoint"
 	"dynamo/internal/core"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs"
@@ -233,10 +234,25 @@ func dsePolicy(decisions string) (*core.Static, error) {
 	return nil, fmt.Errorf("runner: unknown design-space policy %q", decisions)
 }
 
+// execCtx carries per-job robustness wiring into execute: checkpoint
+// capture, checkpoint restore, and sweep cancellation. The zero value
+// runs the job plainly.
+type execCtx struct {
+	// ckptEvery / identity / sink configure periodic checkpoint capture.
+	ckptEvery uint64
+	identity  string
+	sink      func(*checkpoint.Checkpoint)
+	// resume, when non-nil, restores the run from this checkpoint via the
+	// machine's verified deterministic replay.
+	resume *checkpoint.Checkpoint
+	// interrupt cancels the run mid-flight (machine.ErrInterrupted).
+	interrupt <-chan struct{}
+}
+
 // execute simulates one normalized request from scratch: its own machine,
 // its own workload instance, fully deterministic regardless of what other
 // jobs run concurrently.
-func execute(q Request) (*Outcome, error) {
+func execute(q Request, x execCtx) (*Outcome, error) {
 	cfg := machine.DefaultConfig()
 	if err := ApplyVariant(q.SysVariant, &cfg); err != nil {
 		return nil, err
@@ -244,6 +260,10 @@ func execute(q Request) (*Outcome, error) {
 	if q.Check {
 		cfg.Check = &check.Config{}
 	}
+	cfg.CkptEvery = x.ckptEvery
+	cfg.CkptIdentity = x.identity
+	cfg.CkptSink = x.sink
+	cfg.Interrupt = x.interrupt
 	var bus *obs.Bus
 	var prof *profile.Profiler
 	if q.Observe || q.ProfileTopK > 0 {
@@ -307,7 +327,12 @@ func execute(q Request) (*Outcome, error) {
 	if inst.Setup != nil {
 		inst.Setup(m.Sys.Data)
 	}
-	res, err := m.Run(inst.Programs)
+	var res *machine.Result
+	if x.resume != nil {
+		res, err = m.RunFrom(inst.Programs, x.resume)
+	} else {
+		res, err = m.Run(inst.Programs)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"dynamo/internal/checkpoint"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs/profile"
 )
@@ -24,6 +26,26 @@ type Options struct {
 	CacheDir string
 	// Log, when non-nil, receives one progress line per completed job.
 	Log io.Writer
+	// Retries bounds how many times a transiently failed job
+	// (ErrJobPanicked, machine.ErrStalled) re-executes before it is
+	// quarantined. Zero disables retries.
+	Retries int
+	// RetryBackoff is the delay before the first retry; each further
+	// retry doubles it. The schedule is deterministic — no jitter — so a
+	// failing sweep replays identically. Zero selects 100ms.
+	RetryBackoff time.Duration
+	// CkptEvery, when nonzero with a cache directory, checkpoints every
+	// running job roughly every CkptEvery simulation events to
+	// <digest>.ckpt.json, so a killed sweep resumes instead of restarting.
+	CkptEvery uint64
+	// Resume makes jobs restore from their persisted checkpoint when one
+	// exists and verifies; unusable checkpoints are evicted and the job
+	// restarts from event zero.
+	Resume bool
+	// Interrupt, when non-nil, cancels the sweep once signaled or closed:
+	// queued jobs abort immediately, running jobs checkpoint and stop,
+	// and every cancelled job reports machine.ErrInterrupted.
+	Interrupt <-chan struct{}
 }
 
 // Outcome is a completed job's reports.
@@ -55,6 +77,12 @@ type Stats struct {
 	Panics uint64
 	// Evictions counts persisted entries dropped as corrupt or outdated.
 	Evictions uint64
+	// Retries counts re-executions of transiently failed jobs; Resumed
+	// counts jobs restored from a persisted checkpoint; Interrupted
+	// counts jobs cancelled by Options.Interrupt.
+	Retries     uint64
+	Resumed     uint64
+	Interrupted uint64
 	// Saved is the recorded simulation time of every disk hit.
 	Saved time.Duration
 }
@@ -85,14 +113,14 @@ var executeFn = execute
 // safeExecute runs one job, converting a panic anywhere in the simulator
 // into an ErrJobPanicked with the recovered value and stack: one corrupt
 // job must not take down a thousand-job sweep.
-func safeExecute(q Request) (out *Outcome, err error) {
+func safeExecute(q Request, x execCtx) (out *Outcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out = nil
 			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, rec, debug.Stack())
 		}
 	}()
-	return executeFn(q)
+	return executeFn(q, x)
 }
 
 // Task is a submitted job's handle.
@@ -201,6 +229,60 @@ func (r *Runner) Failed() []*JobError {
 	return out
 }
 
+// transient reports whether a failure is worth retrying: a recovered
+// panic or a watchdog-abandoned stall may be an artifact of a corrupted
+// process state rather than a deterministic property of the request.
+func transient(err error) bool {
+	return errors.Is(err, ErrJobPanicked) || errors.Is(err, machine.ErrStalled)
+}
+
+// badCkpt reports whether a failure means the persisted checkpoint is
+// unusable (the current build or configuration no longer reproduces it).
+func badCkpt(err error) bool {
+	return errors.Is(err, checkpoint.ErrDiverged) ||
+		errors.Is(err, checkpoint.ErrIncompatible) ||
+		errors.Is(err, checkpoint.ErrCorrupt)
+}
+
+// backoff returns the deterministic delay before retry number attempt
+// (1-based): RetryBackoff doubled per retry, no jitter.
+func (r *Runner) backoff(attempt int) time.Duration {
+	base := r.opts.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return base << (attempt - 1)
+}
+
+// sleep pauses for d, returning false early if the sweep is interrupted.
+func (r *Runner) sleep(d time.Duration) bool {
+	if r.opts.Interrupt == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-r.opts.Interrupt:
+		return false
+	}
+}
+
+// interruptedNow polls the interrupt channel without blocking.
+func (r *Runner) interruptedNow() bool {
+	if r.opts.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-r.opts.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
 func (r *Runner) run(t *Task) {
 	defer close(t.done)
 
@@ -222,12 +304,92 @@ func (r *Runner) run(t *Task) {
 		r.mu.Unlock()
 	}
 
+	digest := t.req.Digest()
+	x := execCtx{interrupt: r.opts.Interrupt}
+	if r.store != nil {
+		x.identity = digest
+		if r.opts.CkptEvery > 0 {
+			x.ckptEvery = r.opts.CkptEvery
+			x.sink = func(ck *checkpoint.Checkpoint) {
+				if err := r.store.saveCkpt(digest, ck); err != nil {
+					r.logf(t, "checkpoint write failed: %v", err)
+				}
+			}
+		}
+		if r.opts.Resume {
+			switch ck, err := r.store.loadCkpt(t.req); {
+			case err == nil:
+				x.resume = ck
+				r.mu.Lock()
+				r.stats.Resumed++
+				r.mu.Unlock()
+				r.logf(t, "resuming %s from event %d", t.req, ck.Event)
+			case !errors.Is(err, os.ErrNotExist):
+				r.mu.Lock()
+				r.stats.Evictions++
+				r.mu.Unlock()
+				r.logf(t, "checkpoint evicted: %v", err)
+			}
+		}
+	}
+	// Claim any stale quarantine marker before re-running: the rename
+	// inside claimFailed guarantees that of all workers sharing this cache
+	// directory, exactly one inherits the marker's attempt count.
+	var prior int
+	if prev, ok := r.store.claimFailed(digest); ok && prev != nil {
+		prior = prev.Attempts
+	}
+
 	r.sem <- struct{}{}
+	if r.interruptedNow() {
+		// The sweep was cancelled while this job sat in the queue; its
+		// persisted checkpoint (if any) stays put for the next resume.
+		<-r.sem
+		r.finishInterrupted(t)
+		return
+	}
 	start := time.Now()
-	out, runErr := safeExecute(t.req)
+	var runErr error
+	attempts := 0
+	for {
+		attempts++
+		out, runErr = safeExecute(t.req, x)
+		if runErr == nil {
+			break
+		}
+		if x.resume != nil && badCkpt(runErr) {
+			// The checkpoint no longer replays under this build: discard it
+			// and restart the job from event zero. Not counted as a retry —
+			// the job itself has not failed yet.
+			r.store.removeCkpt(digest)
+			x.resume = nil
+			r.logf(t, "checkpoint unusable for %s, restarting from scratch: %v", t.req, runErr)
+			continue
+		}
+		if errors.Is(runErr, machine.ErrInterrupted) {
+			break
+		}
+		if !transient(runErr) || attempts > r.opts.Retries {
+			break
+		}
+		delay := r.backoff(attempts)
+		r.mu.Lock()
+		r.stats.Retries++
+		r.mu.Unlock()
+		r.logf(t, "retrying %s in %s (attempt %d of %d): %v",
+			t.req, delay, attempts+1, r.opts.Retries+1, runErr)
+		if !r.sleep(delay) {
+			runErr = fmt.Errorf("%w (retry abandoned after: %v)", machine.ErrInterrupted, runErr)
+			break
+		}
+	}
 	elapsed = time.Since(start)
 	<-r.sem
 
+	if errors.Is(runErr, machine.ErrInterrupted) {
+		r.finishInterrupted(t)
+		return
+	}
 	if runErr != nil {
 		je := &JobError{Request: t.req, Err: runErr}
 		r.mu.Lock()
@@ -239,22 +401,37 @@ func (r *Runner) run(t *Task) {
 		r.mu.Unlock()
 		t.err = je
 		// Failed runs never enter the result cache; they leave a
-		// quarantine marker beside it for post-mortem instead.
-		if qerr := r.store.quarantine(t.req, runErr); qerr != nil {
+		// quarantine marker beside it for post-mortem instead. Any
+		// persisted checkpoint stays for bisection.
+		if qerr := r.store.quarantine(t.req, runErr, prior+attempts); qerr != nil {
 			r.logf(t, "quarantine write failed: %v", qerr)
 		}
-		r.logf(t, "failed %s: %v", t.req, runErr)
+		r.logf(t, "failed %s after %d attempt(s): %v", t.req, attempts, runErr)
 		return
 	}
 	r.mu.Lock()
 	r.stats.Misses++
 	r.mu.Unlock()
 	t.out = out
+	r.store.removeCkpt(digest)
 	if err := r.store.save(t.req, out, elapsed); err != nil {
 		// A write failure degrades the cache, not the run.
 		r.logf(t, "cache write failed: %v", err)
 	}
 	r.logf(t, "ran %s: %d cycles (%s)", t.req, out.Result.Cycles, elapsed.Round(time.Millisecond))
+}
+
+// finishInterrupted records a cancelled job: it reports
+// machine.ErrInterrupted through its task but is neither quarantined nor
+// counted as an error — its checkpoint (when one was captured) makes it
+// resumable, not failed.
+func (r *Runner) finishInterrupted(t *Task) {
+	je := &JobError{Request: t.req, Err: machine.ErrInterrupted}
+	r.mu.Lock()
+	r.stats.Interrupted++
+	r.mu.Unlock()
+	t.err = je
+	r.logf(t, "interrupted %s", t.req)
 }
 
 func (r *Runner) logf(t *Task, format string, args ...any) {

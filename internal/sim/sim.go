@@ -9,6 +9,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // Tick is a point in simulated time, measured in clock cycles.
@@ -137,6 +138,28 @@ func (e *Engine) Run(limit Tick) uint64 {
 		e.Step()
 	}
 	return e.executed - start
+}
+
+// Snapshot is a serializable image of the engine's externally visible
+// state. Event closures cannot be serialized, so a snapshot records only
+// the clock, the insertion counter, the executed-event count and the
+// (sorted) due times of pending events; checkpoint verification replays
+// the deterministic event stream and compares snapshots bit-exactly.
+type Snapshot struct {
+	Now      Tick
+	Seq      uint64
+	Executed uint64
+	Pending  []Tick
+}
+
+// Snapshot captures the engine state in canonical order.
+func (e *Engine) Snapshot() Snapshot {
+	pending := make([]Tick, len(e.queue))
+	for i, ev := range e.queue {
+		pending[i] = ev.when
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	return Snapshot{Now: e.now, Seq: e.seq, Executed: e.executed, Pending: pending}
 }
 
 // RunUntil executes events while cond returns false, the queue is non-empty,

@@ -74,6 +74,59 @@ func TestWatchdogSurfacesStall(t *testing.T) {
 	}
 }
 
+// TestSessionCheckpointResume exercises the public crash-recovery path:
+// checkpoints stream out of a run via WithCheckpoint, and Session.Resume
+// restores the last one to a byte-identical completion.
+func TestSessionCheckpointResume(t *testing.T) {
+	build := func(opts ...Option) *Session {
+		s, err := New(smallConfig(), append([]Option{
+			WithPolicy("dynamo-reuse-pn"),
+			WithThreads(4),
+			WithScale(0.1),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	base, err := build().Run("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last *Checkpoint
+	res, err := build(WithCheckpoint(base.SimEvents/3, func(ck *Checkpoint) {
+		last = ck
+	})).Run("histogram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != base.Cycles {
+		t.Fatalf("checkpointed run diverged: %d vs %d cycles", res.Cycles, base.Cycles)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint reached the sink")
+	}
+	if last.Event == 0 || last.Event >= base.SimEvents {
+		t.Fatalf("checkpoint at event %d of %d", last.Event, base.SimEvents)
+	}
+
+	resumed, err := build().Resume("histogram", last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cycles != base.Cycles || resumed.Instructions != base.Instructions ||
+		resumed.SimEvents != base.SimEvents {
+		t.Fatalf("resumed run diverged: %d vs %d cycles", resumed.Cycles, base.Cycles)
+	}
+
+	// A Session configured differently cannot reproduce the checkpoint.
+	if _, err := build(WithPolicy("shared-far"), WithChaos(5, 2)).Resume("histogram", last); !errors.Is(err, ErrCheckpointDiverged) {
+		t.Fatalf("Resume under a different configuration = %v, want ErrCheckpointDiverged", err)
+	}
+}
+
 func TestSweepWithCheckAndChaos(t *testing.T) {
 	r := NewRunner(WithJobs(2))
 	res, err := r.Run(SweepRequest{

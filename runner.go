@@ -43,6 +43,35 @@ func WithRunnerLog(w io.Writer) RunnerOption {
 	return func(o *runner.Options) { o.Log = w }
 }
 
+// WithRetries re-executes transiently failed runs (a recovered panic or
+// a watchdog-abandoned stall) up to n times, with a deterministic
+// doubling backoff, before quarantining them. Retries are recorded in
+// RunnerStats.Retries and in the run's quarantine marker.
+func WithRetries(n int) RunnerOption {
+	return func(o *runner.Options) { o.Retries = n }
+}
+
+// WithRunnerCheckpoints checkpoints every running job roughly every
+// `every` simulation events into the cache directory (requires
+// WithCacheDir), so a killed sweep resumes instead of restarting.
+func WithRunnerCheckpoints(every uint64) RunnerOption {
+	return func(o *runner.Options) { o.CkptEvery = every }
+}
+
+// WithResume restores unfinished runs from their persisted checkpoints
+// (requires WithCacheDir). Checkpoints that fail verification are
+// evicted and the run restarts from event zero.
+func WithResume() RunnerOption {
+	return func(o *runner.Options) { o.Resume = true }
+}
+
+// WithRunnerInterrupt cancels the sweep once ch is signaled or closed:
+// queued runs abort immediately, running jobs capture a final checkpoint
+// (when checkpointing is enabled) and stop with ErrInterrupted.
+func WithRunnerInterrupt(ch <-chan struct{}) RunnerOption {
+	return func(o *runner.Options) { o.Interrupt = ch }
+}
+
 // NewRunner builds a sweep runner over the default Table II system.
 func NewRunner(opts ...RunnerOption) *Runner {
 	var o runner.Options

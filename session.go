@@ -2,8 +2,10 @@ package dynamo
 
 import (
 	"fmt"
+	"io"
 
 	"dynamo/internal/check"
+	"dynamo/internal/checkpoint"
 	"dynamo/internal/core"
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
@@ -36,7 +38,37 @@ var (
 	// ErrJobPanicked reports a sweep job whose simulation panicked; the
 	// Runner recovered and the rest of the sweep completed.
 	ErrJobPanicked = runner.ErrJobPanicked
+	// ErrInterrupted reports a run cancelled through WithInterrupt (or a
+	// sweep cancelled through WithRunnerInterrupt). When checkpointing was
+	// enabled, a final checkpoint was captured before the abort, so the
+	// run is resumable, not lost.
+	ErrInterrupted = machine.ErrInterrupted
+	// ErrCheckpointIncompatible reports a checkpoint from a different
+	// schema version or run identity.
+	ErrCheckpointIncompatible = checkpoint.ErrIncompatible
+	// ErrCheckpointCorrupt reports an unreadable, truncated or
+	// digest-failing checkpoint.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointDiverged reports a checkpoint whose deterministic
+	// replay did not reproduce the stored state — the configuration or
+	// simulator build no longer matches the run that captured it.
+	ErrCheckpointDiverged = checkpoint.ErrDiverged
 )
+
+// Checkpoint is one serialized machine state at a specific event index,
+// captured through WithCheckpoint and restored through Session.Resume.
+// Restores are verified: the machine replays its deterministic event
+// stream to the checkpoint's event index and cross-validates the
+// reconstructed state against the stored digest bit-exactly, so a
+// resumed run is byte-identical to one that was never interrupted.
+type Checkpoint = checkpoint.Checkpoint
+
+// ReadCheckpoint parses and structurally validates a serialized
+// checkpoint: parse failures and digest mismatches return
+// ErrCheckpointCorrupt, schema drift returns ErrCheckpointIncompatible.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	return machine.Restore(r)
+}
 
 // Session is a configured simulation context: one system configuration
 // plus run parameters, built once with New and reused across runs. Runs
@@ -128,6 +160,23 @@ func WithChaos(seed int64, level int) Option {
 	}
 }
 
+// WithCheckpoint captures a checkpoint to sink every `every` simulation
+// events, plus a final checkpoint when the run is interrupted
+// (WithInterrupt). Restore one with Session.Resume.
+func WithCheckpoint(every uint64, sink func(*Checkpoint)) Option {
+	return func(s *Session) {
+		s.opts.CkptEvery = every
+		s.opts.CkptSink = sink
+	}
+}
+
+// WithInterrupt cancels a run once ch is signaled or closed: the machine
+// captures a final checkpoint to the WithCheckpoint sink (when one is
+// configured) and aborts with ErrInterrupted.
+func WithInterrupt(ch <-chan struct{}) Option {
+	return func(s *Session) { s.opts.Interrupt = ch }
+}
+
 // New builds a Session on cfg. The policy name and thread count are
 // validated eagerly: an unregistered policy returns ErrUnknownPolicy
 // here, not at the first Run.
@@ -168,6 +217,32 @@ func (s *Session) Run(workloadName string) (*Result, error) {
 		return nil, err
 	}
 	return runInstance(s.cfg, inst, s.opts)
+}
+
+// Resume restores a run of the named workload from a checkpoint and
+// carries it to completion, returning metrics byte-identical to an
+// uninterrupted run. The Session must be configured identically to the
+// one that captured the checkpoint (same config, policy, parameters and
+// chaos wiring): an unreproducible checkpoint fails with
+// ErrCheckpointDiverged, a mismatched identity with
+// ErrCheckpointIncompatible.
+func (s *Session) Resume(workloadName string, ck *Checkpoint) (*Result, error) {
+	spec, err := workload.Get(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Build(workload.Params{
+		Threads: s.opts.Threads,
+		Seed:    s.opts.Seed,
+		Scale:   s.opts.Scale,
+		Input:   s.opts.Input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := s.opts
+	opts.resume = ck
+	return runInstance(s.cfg, inst, opts)
 }
 
 // RunCounter executes the Fig. 1 shared-counter microbenchmark: the
