@@ -1,0 +1,285 @@
+// Command dynamo-bench measures the simulator's host performance on a
+// pinned benchmark matrix and gates the per-PR perf trajectory.
+//
+// Usage:
+//
+//	dynamo-bench run [-o BENCH.json] [-pr N] [-trials N] [-warmup N] [-quick]
+//	dynamo-bench compare OLD.json NEW.json [-tolerance 0.1]
+//
+// run executes the pinned matrix — three representative workloads
+// (histogram, tc, spmv) under the dynamo-reuse-pn policy, each with the
+// probe bus off/on and the protocol sanitizer off/on — with warmup plus
+// repeated measured trials, and writes a schema-versioned JSON file of
+// median events/sec, ns/event and allocs/event per cell, host
+// fingerprint included. Committed as BENCH_<pr>.json at the repo root,
+// these files form the repository's perf trajectory.
+//
+// compare matches two such files cell by cell and exits nonzero when any
+// cell's median events/sec dropped by more than -tolerance, making it a
+// CI gate against host-performance regressions. The gate is one-sided:
+// improvements always pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dynamo"
+	"dynamo/internal/bench"
+	"dynamo/internal/cliflags"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		run(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  dynamo-bench run [-o FILE] [-pr N] [-trials N] [-warmup N] [-quick]
+  dynamo-bench compare OLD.json NEW.json [-tolerance X]`)
+	os.Exit(2)
+}
+
+// benchConfig is the shrunken 4-core system the matrix runs on — the same
+// geometry as the dynamo-stats CI baselines, so bench cells stay seconds,
+// not minutes, and the trajectory is comparable across PRs.
+func benchConfig() dynamo.Config {
+	cfg := dynamo.DefaultConfig()
+	cfg.Chi.Cores = 4
+	cfg.Chi.HNSlices = 4
+	cfg.Chi.Mesh.Width = 4
+	cfg.Chi.Mesh.Height = 4
+	cfg.Chi.L1Sets = 32
+	cfg.Chi.L2Sets = 128
+	cfg.Chi.LLCSets = 512
+	return cfg
+}
+
+// matrix returns the pinned cell keys. scale is part of every key, so a
+// -quick file never falsely compares against a full one.
+func matrix(scale float64) []bench.Key {
+	var keys []bench.Key
+	for _, wl := range []string{"histogram", "tc", "spmv"} {
+		for _, obs := range []bool{false, true} {
+			for _, check := range []bool{false, true} {
+				keys = append(keys, bench.Key{
+					Workload: wl, Policy: "dynamo-reuse-pn",
+					Threads: 4, Scale: scale,
+					Obs: obs, Check: check,
+				})
+			}
+		}
+	}
+	return keys
+}
+
+// hostFingerprint records the environment the numbers were measured in.
+func hostFingerprint() bench.Host {
+	return bench.Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUs:       runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+	}
+}
+
+// cpuModel extracts the processor model from /proc/cpuinfo, best-effort:
+// non-Linux hosts (or locked-down ones) just leave the field empty.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// newSession builds a fresh session for one cell run. Each run gets its
+// own session (and probe bus, when on): collectors accumulate across runs
+// on a shared session, which would contaminate later trials.
+func newSession(key bench.Key, hostPerf bool) (*dynamo.Session, error) {
+	opts := []dynamo.Option{
+		dynamo.WithPolicy(key.Policy),
+		dynamo.WithThreads(key.Threads),
+		dynamo.WithScale(key.Scale),
+	}
+	if key.Obs {
+		opts = append(opts, dynamo.WithObs(dynamo.NewObs()))
+	}
+	if key.Check {
+		opts = append(opts, dynamo.WithCheck())
+	}
+	if hostPerf {
+		opts = append(opts, dynamo.WithHostPerf())
+	}
+	return dynamo.New(benchConfig(), opts...)
+}
+
+// runCell measures one matrix cell: warmup runs, then measured trials,
+// then — for the base cell — one profiled run for subsystem attribution
+// and the self-profiler overhead ratio.
+func runCell(key bench.Key, warmup, trials int) (bench.Cell, error) {
+	var zero bench.Cell
+	for i := 0; i < warmup; i++ {
+		s, err := newSession(key, false)
+		if err != nil {
+			return zero, err
+		}
+		if _, err := s.Run(key.Workload); err != nil {
+			return zero, err
+		}
+	}
+	var (
+		raw            []bench.Trial
+		events, cycles uint64
+	)
+	for i := 0; i < trials; i++ {
+		s, err := newSession(key, false)
+		if err != nil {
+			return zero, err
+		}
+		// A forced GC before the measured window keeps one trial's garbage
+		// from being collected on another trial's clock.
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res, err := s.Run(key.Workload)
+		wall := time.Since(t0)
+		if err != nil {
+			return zero, err
+		}
+		runtime.ReadMemStats(&m1)
+		raw = append(raw, bench.Trial{
+			WallNS:       uint64(wall),
+			Events:       res.SimEvents,
+			AllocObjects: m1.Mallocs - m0.Mallocs,
+		})
+		events, cycles = res.SimEvents, uint64(res.Cycles)
+	}
+	cell := bench.Summarize(key, events, cycles, raw)
+	if !key.Obs && !key.Check {
+		s, err := newSession(key, true)
+		if err != nil {
+			return zero, err
+		}
+		res, err := s.Run(key.Workload)
+		if err != nil {
+			return zero, err
+		}
+		if hp := res.HostPerf; hp != nil {
+			cell.Attribution = hp.Kinds
+			if cell.NSPerEvent > 0 {
+				cell.ProfilerOverhead = hp.NSPerEvent / cell.NSPerEvent
+			}
+		}
+	}
+	return cell, nil
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("o", "bench-scratch.json", "output file")
+	pr := fs.Int("pr", 0, "PR number recorded in the file")
+	trials := fs.Int("trials", 3, "measured trials per cell")
+	warmup := fs.Int("warmup", 1, "unmeasured warmup runs per cell")
+	quick := fs.Bool("quick", false, "half-scale matrix for smoke tests (cells never compare against full-scale files)")
+	cpuprofile := cliflags.CPUProfile(fs)
+	memprofile := cliflags.MemProfile(fs)
+	fs.Parse(args)
+	if *trials < 1 {
+		fmt.Fprintln(os.Stderr, "dynamo-bench: -trials must be at least 1")
+		os.Exit(2)
+	}
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	scale := 0.1
+	if *quick {
+		scale = 0.05
+	}
+	file := &bench.File{PR: *pr, Host: hostFingerprint()}
+	start := time.Now()
+	for _, key := range matrix(scale) {
+		cell, err := runCell(key, *warmup, *trials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynamo-bench: %s: %v\n", key, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  %-40s %8.3f M events/s (±%4.1f%%), %6.0f ns/event, %5.1f allocs/event\n",
+			key, cell.EventsPerSec/1e6, 100*cell.Spread, cell.NSPerEvent, cell.AllocsPerEvent)
+		file.Cells = append(file.Cells, cell)
+	}
+	if err := file.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dynamo-bench: %d cells x %d trials in %.1fs -> %s\n",
+		len(file.Cells), *trials, time.Since(start).Seconds(), *out)
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tolerance", 0.1, "relative events/sec drop that fails the gate (0.1 = 10%)")
+	fs.Parse(args)
+	// Accept flags after the positional files too
+	// (compare OLD NEW -tolerance X), re-parsing the tail.
+	pos := fs.Args()
+	if len(pos) > 2 {
+		fs.Parse(pos[2:])
+		pos = pos[:2]
+	}
+	if len(pos) != 2 {
+		usage()
+	}
+	old, err := bench.ReadFile(pos[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	new, err := bench.ReadFile(pos[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	c := bench.Compare(old, new, *tol)
+	for _, w := range c.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
+	if c.Matched == 0 {
+		fmt.Fprintln(os.Stderr, "dynamo-bench: no matching cells between the two files")
+		os.Exit(2)
+	}
+	if !c.Ok() {
+		fmt.Printf("PERF REGRESSION: %d of %d cells beyond tolerance %g\n", len(c.Regressions), c.Matched, *tol)
+		for _, r := range c.Regressions {
+			fmt.Printf("  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d cells within tolerance %g\n", c.Matched, *tol)
+}

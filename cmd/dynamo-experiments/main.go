@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,8 +53,18 @@ func main() {
 	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
 	resume := cliflags.Resume(flag.CommandLine)
 	retries := cliflags.Retries(flag.CommandLine)
+	statsJSON := flag.String("stats-json", "", "write machine-readable sweep stats as JSON to this file")
+	cpuprofile := cliflags.CPUProfile(flag.CommandLine)
+	memprofile := cliflags.MemProfile(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
+
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -155,9 +166,39 @@ func main() {
 	if st.Saved > 0 {
 		fmt.Fprintf(os.Stderr, ", saved %s", st.Saved.Round(time.Millisecond))
 	}
+	if st.SimEvents > 0 && st.SimTime > 0 {
+		fmt.Fprintf(os.Stderr, ", %d events @ %.2f M events/s",
+			st.SimEvents, float64(st.SimEvents)/st.SimTime.Seconds()/1e6)
+	}
 	fmt.Fprintf(os.Stderr, " (wall %.1fs, jobs=%d)\n",
 		time.Since(suiteStart).Seconds(), suite.Runner().Jobs())
 	if st.Simulated() == 0 && st.DiskHits > 0 {
 		fmt.Fprintln(os.Stderr, "runner: warm cache — 100% cache hits, zero simulations executed")
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, st, suite.Runner().Jobs(), time.Since(suiteStart)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeStatsJSON renders the sweep's runner counters plus derived host
+// throughput as a machine-readable file, for perf-trajectory tooling that
+// wants sweep-level numbers rather than the single-run BENCH matrix.
+func writeStatsJSON(path string, st dynamo.RunnerStats, jobs int, wall time.Duration) error {
+	out := struct {
+		dynamo.RunnerStats
+		Jobs         int     `json:"jobs"`
+		WallSeconds  float64 `json:"wall_seconds"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	}{RunnerStats: st, Jobs: jobs, WallSeconds: wall.Seconds()}
+	if st.SimEvents > 0 && st.SimTime > 0 {
+		out.EventsPerSec = float64(st.SimEvents) / st.SimTime.Seconds()
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

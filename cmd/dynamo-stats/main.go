@@ -64,11 +64,19 @@ func snapshot(args []string) {
 	input := cliflags.Input(fs)
 	small := fs.Bool("small", false, "use the shrunken 4-core CI system")
 	out := fs.String("o", "", "output file (default stdout)")
+	cpuprofile := cliflags.CPUProfile(fs)
+	memprofile := cliflags.MemProfile(fs)
 	fs.Parse(args)
 	if *wl == "" {
 		fmt.Fprintln(os.Stderr, "dynamo-stats: -workload is required")
 		os.Exit(2)
 	}
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	cfg := dynamo.DefaultConfig()
 	if *small {

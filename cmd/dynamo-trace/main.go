@@ -70,10 +70,17 @@ func record(args []string) error {
 	threads := cliflags.Threads(fs, 8)
 	scale := cliflags.Scale(fs, 0.25)
 	out := fs.String("o", "out.trace", "output file")
+	cpuprofile := cliflags.CPUProfile(fs)
+	memprofile := cliflags.MemProfile(fs)
 	fs.Parse(args)
 	if *wl == "" {
 		return fmt.Errorf("record: -workload is required")
 	}
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -135,10 +142,17 @@ func info(args []string) error {
 func replay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	policy := fs.String("policy", "all-near", "placement policy for the replay")
+	cpuprofile := cliflags.CPUProfile(fs)
+	memprofile := cliflags.MemProfile(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay: one trace file expected")
 	}
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	recs, err := openTrace(fs.Arg(0))
 	if err != nil {
 		return err
@@ -210,10 +224,17 @@ func bisect(args []string) error {
 	maxMSHRs := fs.Int("max-mshrs", 0, "tightened sanitizer MSHR bound (0 = default)")
 	maxBusy := fs.Int("max-busy-lines", 0, "tightened sanitizer busy-line bound (0 = default)")
 	ckptFile := fs.String("ckpt", "", "checkpoint from the same run bounding the search from below")
+	cpuprofile := cliflags.CPUProfile(fs)
+	memprofile := cliflags.MemProfile(fs)
 	fs.Parse(args)
 	if *wl == "" {
 		return fmt.Errorf("bisect: -workload is required")
 	}
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *chaosSeed != 0 && *chaosLevel == 0 {
 		*chaosLevel = 1
 	}

@@ -94,9 +94,19 @@ func main() {
 	ckptFile := flag.String("ckpt", "", "write checkpoints to this file (periodic with -ckpt-every, final on SIGINT/SIGTERM)")
 	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
 	resumeFile := flag.String("resume", "", "restore the run from this checkpoint file")
+	perfOn := flag.Bool("perf", false, "self-profile host performance (events/sec, subsystem attribution)")
+	cpuprofile := cliflags.CPUProfile(flag.CommandLine)
+	memprofile := cliflags.MemProfile(flag.CommandLine)
 	jsonOut := cliflags.JSON(flag.CommandLine)
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
+
+	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("workloads:")
@@ -141,6 +151,9 @@ func main() {
 	}
 	if *checkOn {
 		opts = append(opts, dynamo.WithCheck())
+	}
+	if *perfOn {
+		opts = append(opts, dynamo.WithHostPerf())
 	}
 	if *chaosSeed != 0 || *chaosLevel != 0 {
 		opts = append(opts, dynamo.WithChaos(*chaosSeed, *chaosLevel))
@@ -283,6 +296,9 @@ func main() {
 	if res.Check != nil {
 		fmt.Printf("sanitizer       clean (%d periodic audits, %d release audits, max %d MSHRs, max %d blocked lines)\n",
 			res.Check.Audits, res.Check.ReleaseAudits, res.Check.MaxMSHRs, res.Check.MaxBusyLines)
+	}
+	if res.HostPerf != nil {
+		fmt.Print(res.HostPerf.Summary())
 	}
 	if prof != nil {
 		fmt.Println("\ncontention profile (hottest AMO lines):")

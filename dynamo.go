@@ -33,6 +33,7 @@ import (
 	"dynamo/internal/memory"
 	"dynamo/internal/obs"
 	"dynamo/internal/obs/profile"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 	"dynamo/internal/trace"
 	"dynamo/internal/workload"
@@ -99,6 +100,14 @@ type ObsReport = obs.Report
 // maxima, attached to Result.Check when the sanitizer was enabled
 // (WithCheck). A report is always Clean: a violated run errors instead.
 type CheckReport = check.Report
+
+// HostPerfReport is the host-performance self-profile of a run —
+// events/sec, ns/event, sampled wall-clock attribution per subsystem,
+// event-queue depth and heap deltas — attached to Result.HostPerf when
+// profiling was enabled (WithHostPerf). Host wall-clock is inherently
+// non-deterministic, so the report is excluded from JSON serialization
+// and never enters result caches or checkpoint digests.
+type HostPerfReport = perf.Report
 
 // ObsOption configures an observability bus built with NewObs.
 type ObsOption func(*obs.Options)
@@ -218,6 +227,9 @@ type Options struct {
 	Interval *profile.Recorder
 	// Check attaches the protocol invariant sanitizer (see WithCheck).
 	Check bool
+	// HostPerf attaches the host-performance self-profiler (see
+	// WithHostPerf); the run's report lands in Result.HostPerf.
+	HostPerf bool
 	// ChaosSeed and ChaosLevel attach the deterministic fault injector
 	// (see WithChaos). Setting one defaults the other to 1; both zero
 	// leave the run unperturbed.
@@ -336,6 +348,9 @@ func runInstance(cfg Config, inst *workload.Instance, opts Options) (*Result, er
 	cfg.Interrupt = opts.Interrupt
 	if opts.Check {
 		cfg.Check = &check.Config{}
+	}
+	if opts.HostPerf {
+		cfg.Perf = perf.New(0)
 	}
 	if opts.Profile != nil {
 		if opts.Obs == nil {

@@ -1,0 +1,326 @@
+// Package bench defines the schema, summarization and comparison logic of
+// the pinned host-performance benchmark matrix (BENCH_<pr>.json): the
+// canonical per-PR record of how fast the simulator runs on a given host.
+//
+// The package is pure — it runs no simulations. cmd/dynamo-bench executes
+// the matrix through the public dynamo API and feeds raw trial
+// measurements in here; keeping the schema and the regression-gate logic
+// free of simulation lets tests cover round-trips and tolerance edges
+// without ever building a machine.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"dynamo/internal/perf"
+)
+
+// Schema is the file format version. Readers reject other versions: a
+// perf trajectory spanning schema changes must be re-measured, never
+// silently reinterpreted.
+const Schema = 1
+
+// Host fingerprints the machine a benchmark ran on. Numbers from
+// different fingerprints are not comparable; Compare warns but does not
+// fail when fingerprints differ, since a tolerance wide enough for CI
+// hosts absorbs same-generation hardware spread.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUs       int    `json:"cpus"`
+	// CPUModel is the kernel-reported processor model, best-effort
+	// (empty when the platform exposes none).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+// Key identifies one cell of the pinned matrix. Every field participates
+// in matching between files: a cell measured at a different scale or
+// thread count never compares against this one.
+type Key struct {
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	Threads  int     `json:"threads"`
+	Scale    float64 `json:"scale"`
+	// Obs and Check select the probe-bus and sanitizer dimensions of the
+	// matrix; both off is the cell later optimization PRs are judged by.
+	Obs   bool `json:"obs"`
+	Check bool `json:"check"`
+}
+
+// String renders the key compactly for logs and regression reports.
+func (k Key) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s t%d s%g", k.Workload, k.Policy, k.Threads, k.Scale)
+	if k.Obs {
+		b.WriteString(" +obs")
+	}
+	if k.Check {
+		b.WriteString(" +check")
+	}
+	return b.String()
+}
+
+// Trial is one measured run of a cell: wall-clock, kernel events and heap
+// objects allocated, as read around a single simulation.
+type Trial struct {
+	WallNS       uint64 `json:"wall_ns"`
+	Events       uint64 `json:"events"`
+	AllocObjects uint64 `json:"alloc_objects"`
+}
+
+// EventsPerSec derives the trial's host throughput.
+func (t Trial) EventsPerSec() float64 {
+	if t.WallNS == 0 {
+		return 0
+	}
+	return float64(t.Events) / (float64(t.WallNS) / 1e9)
+}
+
+// Cell is one matrix cell's summarized measurement: the median and
+// relative spread over its trials. Events and Cycles are simulated
+// quantities — deterministic, identical across trials — while the host
+// metrics are medians, robust to one slow trial on a noisy machine.
+type Cell struct {
+	Key
+	Trials int `json:"trials"`
+	// Events is the deterministic kernel-event count of one run; Cycles
+	// the simulated cycle count.
+	Events uint64 `json:"events"`
+	Cycles uint64 `json:"cycles"`
+	// EventsPerSec, NSPerEvent and AllocsPerEvent are medians over trials.
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NSPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Spread is the relative spread of per-trial events/sec:
+	// (max-min)/median. A large spread means the host was noisy and the
+	// medians deserve suspicion.
+	Spread float64 `json:"spread"`
+	// Attribution is the self-profiler's per-subsystem wall-clock shares,
+	// captured from one additional profiled run (base cells only).
+	Attribution []perf.KindStat `json:"attribution,omitempty"`
+	// ProfilerOverhead is ns/event of the profiled run divided by the
+	// unprofiled median — the measured cost of the self-profiler itself.
+	ProfilerOverhead float64 `json:"profiler_overhead,omitempty"`
+	// RawTrials preserves the individual measurements behind the medians.
+	RawTrials []Trial `json:"raw_trials,omitempty"`
+}
+
+// File is one BENCH_<pr>.json: the full matrix measured on one host at
+// one point of the repository's history.
+type File struct {
+	Schema int `json:"schema"`
+	// PR is the trajectory index the measurement belongs to.
+	PR   int  `json:"pr"`
+	Host Host `json:"host"`
+	// Cells is the measured matrix, sorted by key for stable diffs.
+	Cells []Cell `json:"cells"`
+}
+
+// median returns the middle value of xs (mean of the middle two for even
+// lengths). It sorts a copy; empty input returns 0.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// Summarize reduces a cell's trials to medians and spread. events and
+// cycles are the deterministic simulated quantities of the cell's runs.
+func Summarize(key Key, events, cycles uint64, trials []Trial) Cell {
+	c := Cell{Key: key, Trials: len(trials), Events: events, Cycles: cycles}
+	if len(trials) == 0 {
+		return c
+	}
+	var eps, nspe, ape []float64
+	for _, t := range trials {
+		eps = append(eps, t.EventsPerSec())
+		if t.Events > 0 {
+			nspe = append(nspe, float64(t.WallNS)/float64(t.Events))
+			ape = append(ape, float64(t.AllocObjects)/float64(t.Events))
+		}
+	}
+	c.EventsPerSec = median(eps)
+	c.NSPerEvent = median(nspe)
+	c.AllocsPerEvent = median(ape)
+	if c.EventsPerSec > 0 {
+		min, max := eps[0], eps[0]
+		for _, v := range eps[1:] {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		c.Spread = (max - min) / c.EventsPerSec
+	}
+	c.RawTrials = trials
+	return c
+}
+
+// sortCells orders the matrix canonically so serialized files diff
+// cleanly between PRs.
+func sortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i].Key, cells[j].Key
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Policy != b.Policy {
+			return a.Policy < b.Policy
+		}
+		if a.Threads != b.Threads {
+			return a.Threads < b.Threads
+		}
+		if a.Scale != b.Scale {
+			return a.Scale < b.Scale
+		}
+		if a.Obs != b.Obs {
+			return !a.Obs
+		}
+		return !a.Check
+	})
+}
+
+// Write serializes the file, cells in canonical order.
+func (f *File) Write(w io.Writer) error {
+	f.Schema = Schema
+	sortCells(f.Cells)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the file to path.
+func (f *File) WriteFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Read parses and validates a benchmark file: malformed JSON, a missing
+// matrix or a schema mismatch all error.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("bench: schema %d, want %d (re-measure, do not reinterpret)", f.Schema, Schema)
+	}
+	if len(f.Cells) == 0 {
+		return nil, fmt.Errorf("bench: no cells")
+	}
+	for _, c := range f.Cells {
+		if c.Workload == "" || c.Trials <= 0 {
+			return nil, fmt.Errorf("bench: malformed cell %q", c.Key)
+		}
+	}
+	return &f, nil
+}
+
+// ReadFile reads and validates the benchmark file at path.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := Read(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Regression is one cell whose throughput fell beyond tolerance between
+// two files.
+type Regression struct {
+	Key  Key
+	Old  float64 // old median events/sec
+	New  float64
+	Drop float64 // relative drop, e.g. 0.3 = 30% slower
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.3g -> %.3g events/s (-%.1f%%)", r.Key, r.Old, r.New, 100*r.Drop)
+}
+
+// Comparison is the outcome of matching two benchmark files cell by cell.
+type Comparison struct {
+	// Matched counts cells present in both files.
+	Matched int
+	// Regressions lists matched cells whose median events/sec dropped by
+	// more than the tolerance, worst first.
+	Regressions []Regression
+	// Warnings notes non-fatal anomalies: differing host fingerprints,
+	// cells present on only one side.
+	Warnings []string
+}
+
+// Ok reports whether the comparison found matched cells and no
+// regression.
+func (c *Comparison) Ok() bool { return c.Matched > 0 && len(c.Regressions) == 0 }
+
+// Compare matches new against old cell by key and flags every cell whose
+// median events/sec dropped by more than tol (0.1 = 10% slower fails).
+// Improvements never flag: the gate is one-sided by design, since a
+// faster simulator is the point.
+func Compare(old, new *File, tol float64) *Comparison {
+	c := &Comparison{}
+	if old.Host != new.Host {
+		c.Warnings = append(c.Warnings,
+			fmt.Sprintf("host fingerprints differ (%+v vs %+v): numbers may not be comparable", old.Host, new.Host))
+	}
+	oldCells := make(map[Key]Cell, len(old.Cells))
+	for _, cell := range old.Cells {
+		oldCells[cell.Key] = cell
+	}
+	for _, nc := range new.Cells {
+		oc, ok := oldCells[nc.Key]
+		if !ok {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("cell %s only in new file", nc.Key))
+			continue
+		}
+		delete(oldCells, nc.Key)
+		c.Matched++
+		if oc.EventsPerSec <= 0 {
+			continue
+		}
+		drop := (oc.EventsPerSec - nc.EventsPerSec) / oc.EventsPerSec
+		if drop > tol {
+			c.Regressions = append(c.Regressions, Regression{
+				Key: nc.Key, Old: oc.EventsPerSec, New: nc.EventsPerSec, Drop: drop,
+			})
+		}
+	}
+	for key := range oldCells {
+		c.Warnings = append(c.Warnings, fmt.Sprintf("cell %s only in old file", key))
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool {
+		if c.Regressions[i].Drop != c.Regressions[j].Drop {
+			return c.Regressions[i].Drop > c.Regressions[j].Drop
+		}
+		return c.Regressions[i].Key.String() < c.Regressions[j].Key.String()
+	})
+	sort.Strings(c.Warnings)
+	return c
+}

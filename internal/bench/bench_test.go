@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile(eps float64) *File {
+	key := Key{Workload: "histogram", Policy: "dynamo-reuse-pn", Threads: 4, Scale: 0.1}
+	wall := uint64(float64(1_000_000) / eps * 1e9)
+	trial := Trial{WallNS: wall, Events: 1_000_000, AllocObjects: 3_200_000}
+	return &File{
+		PR:    6,
+		Host:  Host{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, CPUs: 4},
+		Cells: []Cell{Summarize(key, 1_000_000, 2_000_000, []Trial{trial, trial, trial})},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile(2e6)
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.PR != 6 || back.Host != f.Host {
+		t.Fatalf("round-trip header mismatch: %+v", back)
+	}
+	if len(back.Cells) != 1 || back.Cells[0].Key != f.Cells[0].Key {
+		t.Fatalf("round-trip cells mismatch: %+v", back.Cells)
+	}
+	if got, want := back.Cells[0].EventsPerSec, f.Cells[0].EventsPerSec; math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("round-trip events/sec %v, want %v", got, want)
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	f := sampleFile(1e6)
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PR != f.PR {
+		t.Fatalf("PR %d, want %d", back.PR, f.PR)
+	}
+}
+
+func TestReadRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      "not json",
+		"wrong schema": `{"schema": 99, "cells": [{"workload": "x", "trials": 1}]}`,
+		"no cells":     `{"schema": 1, "cells": []}`,
+		"bad cell":     `{"schema": 1, "cells": [{"workload": "", "trials": 0}]}`,
+	}
+	for name, body := range cases {
+		if _, err := Read(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: Read accepted %q", name, body)
+		}
+	}
+}
+
+func TestSummarizeMedianAndSpread(t *testing.T) {
+	key := Key{Workload: "tc", Policy: "all-near", Threads: 4, Scale: 0.1}
+	// events/sec of 1e6 events over 1s, 2s, 4s: 1e6, 5e5, 2.5e5 — median 5e5.
+	trials := []Trial{
+		{WallNS: 1e9, Events: 1e6, AllocObjects: 2e6},
+		{WallNS: 2e9, Events: 1e6, AllocObjects: 2e6},
+		{WallNS: 4e9, Events: 1e6, AllocObjects: 2e6},
+	}
+	c := Summarize(key, 1e6, 5e6, trials)
+	if c.Trials != 3 || c.Events != 1e6 || c.Cycles != 5e6 {
+		t.Fatalf("summary header: %+v", c)
+	}
+	if math.Abs(c.EventsPerSec-5e5) > 1 {
+		t.Fatalf("median events/sec = %v, want 5e5", c.EventsPerSec)
+	}
+	if math.Abs(c.NSPerEvent-2000) > 0.01 {
+		t.Fatalf("median ns/event = %v, want 2000", c.NSPerEvent)
+	}
+	if math.Abs(c.AllocsPerEvent-2) > 0.001 {
+		t.Fatalf("median allocs/event = %v, want 2", c.AllocsPerEvent)
+	}
+	// spread = (1e6 - 2.5e5) / 5e5 = 1.5
+	if math.Abs(c.Spread-1.5) > 0.001 {
+		t.Fatalf("spread = %v, want 1.5", c.Spread)
+	}
+	empty := Summarize(key, 0, 0, nil)
+	if empty.Trials != 0 || empty.EventsPerSec != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}
+
+func TestCompareTolerances(t *testing.T) {
+	old := sampleFile(2e6)
+	for _, tc := range []struct {
+		name string
+		eps  float64
+		tol  float64
+		ok   bool
+	}{
+		{"identical", 2e6, 0.1, true},
+		{"small drop within tolerance", 1.9e6, 0.1, true},
+		{"drop beyond tolerance", 1.7e6, 0.1, false},
+		{"huge improvement passes (one-sided)", 9e6, 0.1, true},
+		{"tight tolerance catches small drop", 1.9e6, 0.01, false},
+	} {
+		c := Compare(old, sampleFile(tc.eps), tc.tol)
+		if c.Matched != 1 {
+			t.Fatalf("%s: matched %d cells, want 1", tc.name, c.Matched)
+		}
+		if c.Ok() != tc.ok {
+			t.Errorf("%s: Ok() = %v, want %v (regressions: %v)", tc.name, c.Ok(), tc.ok, c.Regressions)
+		}
+	}
+}
+
+func TestCompareRegressionDetail(t *testing.T) {
+	old, new := sampleFile(2e6), sampleFile(1e6)
+	c := Compare(old, new, 0.25)
+	if len(c.Regressions) != 1 {
+		t.Fatalf("regressions: %v", c.Regressions)
+	}
+	r := c.Regressions[0]
+	if math.Abs(r.Drop-0.5) > 0.001 {
+		t.Fatalf("drop = %v, want 0.5", r.Drop)
+	}
+	if !strings.Contains(r.String(), "histogram") {
+		t.Fatalf("regression string %q lacks the cell key", r.String())
+	}
+}
+
+func TestCompareMismatchedCellsWarn(t *testing.T) {
+	old, new := sampleFile(2e6), sampleFile(2e6)
+	extra := old.Cells[0]
+	extra.Workload = "spmv"
+	old.Cells = append(old.Cells, extra)
+	missing := new.Cells[0]
+	missing.Workload = "tc"
+	new.Cells = append(new.Cells, missing)
+	c := Compare(old, new, 0.1)
+	if c.Matched != 1 {
+		t.Fatalf("matched %d, want 1", c.Matched)
+	}
+	if len(c.Warnings) != 2 {
+		t.Fatalf("warnings: %v", c.Warnings)
+	}
+	if !c.Ok() {
+		t.Fatal("unmatched cells must warn, not fail")
+	}
+}
+
+func TestCompareHostMismatchWarns(t *testing.T) {
+	old, new := sampleFile(2e6), sampleFile(2e6)
+	new.Host.GoVersion = "go1.99.0"
+	c := Compare(old, new, 0.1)
+	if len(c.Warnings) != 1 || !strings.Contains(c.Warnings[0], "fingerprints differ") {
+		t.Fatalf("warnings: %v", c.Warnings)
+	}
+	if !c.Ok() {
+		t.Fatal("host mismatch must warn, not fail")
+	}
+}
+
+func TestCompareNoMatchesNotOk(t *testing.T) {
+	old, new := sampleFile(2e6), sampleFile(2e6)
+	new.Cells[0].Scale = 0.05 // a -quick file must never gate a full one
+	c := Compare(old, new, 0.1)
+	if c.Matched != 0 || c.Ok() {
+		t.Fatalf("scale-mismatched files compared: matched=%d ok=%v", c.Matched, c.Ok())
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{Workload: "spmv", Policy: "all-near", Threads: 8, Scale: 0.5, Obs: true, Check: true}
+	s := k.String()
+	for _, frag := range []string{"spmv", "all-near", "t8", "s0.5", "+obs", "+check"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Key.String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 )
 
@@ -109,9 +110,9 @@ func (in *Injector) Attach(m *machine.Machine) {
 				return
 			}
 			a.Age()
-			eng.Schedule(period, tick)
+			eng.ScheduleKind(period, perf.KindTick, tick)
 		}
-		eng.Schedule(period, tick)
+		eng.ScheduleKind(period, perf.KindTick, tick)
 	}
 	// The injector's stream positions are part of the machine state: a
 	// checkpoint of a chaotic run must pin every stream so a restore (which

@@ -21,6 +21,7 @@ import (
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 )
 
@@ -231,7 +232,7 @@ func (s *System) send(from, to, flits int, fn func()) {
 // mesh links for the extra cycles.
 func (s *System) sendDelayed(from, to, flits int, extra sim.Tick, fn func()) {
 	arrival := s.Mesh.Send(from, to, flits, s.Engine.Now())
-	s.Engine.At(arrival+extra, fn)
+	s.Engine.AtKind(arrival+extra, perf.KindNoC, fn)
 }
 
 // CheckCoherence verifies the global single-writer/multi-reader invariant:

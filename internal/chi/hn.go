@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 )
 
@@ -166,7 +167,7 @@ func (hn *HN) dropIfEmpty(line memory.Line) {
 
 // start dispatches a transaction after the directory pipeline latency.
 func (hn *HN) start(t *txn) {
-	hn.sys.Engine.Schedule(hn.sys.Cfg.DirLatency, func() {
+	hn.sys.Engine.ScheduleKind(hn.sys.Cfg.DirLatency, perf.KindHN, func() {
 		switch t.kind {
 		case txnReadShared:
 			hn.Stats.ReadShared++
@@ -335,7 +336,7 @@ func (hn *HN) readSharedFromHome(t *txn, e *dirEntry, rbit uint64) {
 		granted = memory.UniqueClean
 	}
 	ready := hn.lineData(t.obsID, t.line, false)
-	hn.sys.Engine.At(ready, func() {
+	hn.sys.Engine.AtKind(ready, perf.KindHN, func() {
 		e.sharers |= rbit
 		if granted.Unique() {
 			e.owner = t.requestor
@@ -371,7 +372,7 @@ func (hn *HN) readUnique(t *txn) {
 			hn.respond(t, memory.UniqueDirty, true)
 		default:
 			ready := hn.lineData(t.obsID, t.line, false)
-			hn.sys.Engine.At(ready, func() {
+			hn.sys.Engine.AtKind(ready, perf.KindHN, func() {
 				hn.llc.Remove(uint64(t.line))
 				hn.respond(t, memory.UniqueClean, true)
 			})
@@ -450,7 +451,7 @@ func (hn *HN) atomic(t *txn) {
 		}
 		hn.sys.Obs.Span(obs.Track{Group: obs.TrackHN, ID: hn.idx}, "far-amo", start, hn.sys.Cfg.FarAMOOccupancy)
 		execAt := start + hn.sys.Cfg.ALULatency
-		hn.sys.Engine.At(execAt, func() {
+		hn.sys.Engine.AtKind(execAt, perf.KindHN, func() {
 			old := hn.sys.Data.AMO(req.Op, req.Addr, req.Operand, req.Compare)
 			hn.amoBuf.Insert(uint64(t.line), struct{}{})
 			hn.llcInsert(t.line, true)

@@ -8,6 +8,7 @@ import (
 	"dynamo/internal/memory"
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 )
 
@@ -167,7 +168,7 @@ func (rn *RN) Access(req *Request) {
 		}
 		req.obs = rn.sys.Obs.BeginTxn(req.issued, class, req.Addr, rn.id)
 	}
-	rn.sys.Engine.Schedule(rn.sys.Cfg.L1Latency, func() { rn.lookup(req, true) })
+	rn.sys.Engine.ScheduleKind(rn.sys.Cfg.L1Latency, perf.KindRN, func() { rn.lookup(req, true) })
 }
 
 // lookup runs after the L1 tag/data access. chargeL2 is false for replayed
@@ -190,7 +191,7 @@ func (rn *RN) lookup(req *Request, chargeL2 bool) {
 		rn.afterL2(req, line)
 		return
 	}
-	rn.sys.Engine.Schedule(rn.sys.Cfg.L2Latency, func() { rn.afterL2(req, line) })
+	rn.sys.Engine.ScheduleKind(rn.sys.Cfg.L2Latency, perf.KindRN, func() { rn.afterL2(req, line) })
 }
 
 // afterL2 runs once the L2 has been probed.
@@ -486,7 +487,7 @@ func (rn *RN) setL1State(line memory.Line, st memory.State) {
 // the snoop is a SnpShared downgrade.
 func (rn *RN) handleSnoop(line memory.Line, invalidate bool, respond func(hadCopy, dirty bool)) {
 	rn.Stats.SnoopsReceived++
-	rn.sys.Engine.Schedule(rn.sys.Cfg.L1Latency, func() {
+	rn.sys.Engine.ScheduleKind(rn.sys.Cfg.L1Latency, perf.KindRN, func() {
 		hadCopy := false
 		dirty := false
 		apply := func(st memory.State) memory.State {

@@ -1,0 +1,68 @@
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CPUProfile registers -cpuprofile: write a pprof CPU profile of the
+// whole command to the given file.
+func CPUProfile(fs *flag.FlagSet) *string {
+	return fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+}
+
+// MemProfile registers -memprofile: write a pprof allocation profile at
+// command exit to the given file.
+func MemProfile(fs *flag.FlagSet) *string {
+	return fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+}
+
+// StartProfiles begins the pprof captures selected by the -cpuprofile and
+// -memprofile values (empty paths are skipped) and returns a stop function
+// the command must run before exiting — typically:
+//
+//	stop, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
+//	...
+//	defer stop()
+//
+// The stop function flushes the CPU profile and writes the heap profile
+// (after a forced GC, so the numbers reflect live allocations). Stop
+// errors are reported on stderr: profile loss must not fail the command.
+func StartProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -21,6 +21,7 @@ import (
 	"dynamo/internal/chi"
 	"dynamo/internal/memory"
 	"dynamo/internal/obs"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 )
 
@@ -263,7 +264,7 @@ func New(cfg Config, engine *sim.Engine, rn *chi.RN, prog Program, onFinish func
 
 // Start schedules the core's first instruction after delay cycles.
 func (c *Core) Start(delay sim.Tick) {
-	c.engine.Schedule(delay, func() { c.advance(0) })
+	c.engine.ScheduleKind(delay, perf.KindCPU, func() { c.advance(0) })
 }
 
 // Finished reports whether the program has returned.
@@ -325,13 +326,13 @@ func (c *Core) execute(o op) {
 	switch o.kind {
 	case opCompute:
 		c.Instructions += uint64(o.cycles)
-		c.engine.Schedule(o.cycles, func() { c.advance(0) })
+		c.engine.ScheduleKind(o.cycles, perf.KindCPU, func() { c.advance(0) })
 	case opPause:
-		c.engine.Schedule(o.cycles, func() { c.advance(0) })
+		c.engine.ScheduleKind(o.cycles, perf.KindCPU, func() { c.advance(0) })
 	case opFence:
 		c.Instructions++
 		c.when("stall:fence", func() bool { return c.outstanding == 0 }, func() {
-			c.engine.Schedule(0, func() { c.advance(0) })
+			c.engine.ScheduleKind(0, perf.KindCPU, func() { c.advance(0) })
 		})
 	case opLoad:
 		c.Instructions++
@@ -385,7 +386,7 @@ func (c *Core) execute(o op) {
 				req.NoReturn = true
 			}
 			c.rn.Access(req)
-			c.engine.Schedule(c.cfg.IssueCost, func() { c.advance(0) })
+			c.engine.ScheduleKind(c.cfg.IssueCost, perf.KindCPU, func() { c.advance(0) })
 		}
 		stall := "stall:store-buffer"
 		if isAMO && c.outstanding < c.cfg.StoreBuffer {

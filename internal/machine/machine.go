@@ -20,6 +20,7 @@ import (
 	"dynamo/internal/noc"
 	"dynamo/internal/obs"
 	"dynamo/internal/obs/profile"
+	"dynamo/internal/perf"
 	"dynamo/internal/sim"
 	"dynamo/internal/stats"
 )
@@ -39,6 +40,12 @@ type Config struct {
 	// (latency histograms, optional timeline) from every component. The
 	// run's digest lands in Result.Obs.
 	Obs *obs.Bus
+	// Perf, when non-nil, attaches the host-performance self-profiler to
+	// the engine: every kernel event is attributed to its scheduling
+	// subsystem (wall-clock sampled), and the run's host digest lands in
+	// Result.HostPerf. Purely observational — simulated results are
+	// bit-identical with profiling on or off.
+	Perf *perf.Profiler
 	// Interval, when non-nil, receives a cumulative counter sample every
 	// Recorder period during the run plus one final sample at drain time,
 	// yielding the interval time-series (instructions, per-class latency,
@@ -178,6 +185,12 @@ type Result struct {
 	// maxima. Nil unless the machine was built with Config.Check; always
 	// Clean when present (a violated run errors instead).
 	Check *check.Report
+	// HostPerf is the host-performance self-profile (events/sec,
+	// wall-clock attribution, heap deltas). Nil unless the machine was
+	// built with Config.Perf. Host wall-clock is non-deterministic, so
+	// the report is excluded from JSON serialization — and therefore from
+	// result snapshots, cache entries and every deterministic digest.
+	HostPerf *perf.Report `json:"-"`
 	// Detail carries every raw counter for reports and debugging.
 	Detail *stats.Group
 }
@@ -275,6 +288,9 @@ func NewWithPolicy(cfg Config, policy chi.Policy) (*Machine, error) {
 	sys, err := chi.NewSystem(cfg.Chi, policy)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Perf != nil {
+		sys.Engine.AttachPerf(cfg.Perf)
 	}
 	if cfg.Check != nil {
 		sys.EnableCheck(check.New(*cfg.Check))
@@ -424,6 +440,9 @@ func (m *Machine) begin(programs []cpu.Program) error {
 	eng := m.Sys.Engine
 	rs := &runState{programs: programs, cores: make([]*cpu.Core, len(programs))}
 	m.rs = rs
+	// Anchor the host-perf measurement window at the run's start, so the
+	// report excludes machine construction (nil-safe when profiling is off).
+	m.Cfg.Perf.Start()
 	if a, ok := m.Policy.(ager); ok {
 		var tick func()
 		tick = func() {
@@ -431,9 +450,9 @@ func (m *Machine) begin(programs []cpu.Program) error {
 				return // let the queue drain after the run completes
 			}
 			a.Age()
-			eng.Schedule(agingPeriod, tick)
+			eng.ScheduleKind(agingPeriod, perf.KindTick, tick)
 		}
-		eng.Schedule(agingPeriod, tick)
+		eng.ScheduleKind(agingPeriod, perf.KindTick, tick)
 	}
 	if rec := m.Cfg.Interval; rec != nil && rec.Period() > 0 {
 		var tick func()
@@ -442,9 +461,9 @@ func (m *Machine) begin(programs []cpu.Program) error {
 				return
 			}
 			m.sample(rec, rs.cores)
-			eng.Schedule(rec.Period(), tick)
+			eng.ScheduleKind(rec.Period(), perf.KindTick, tick)
 		}
-		eng.Schedule(rec.Period(), tick)
+		eng.ScheduleKind(rec.Period(), perf.KindTick, tick)
 	}
 	for i, p := range programs {
 		c, err := cpu.New(m.Cfg.CPU, eng, m.Sys.RNs[i], p, func() { rs.finished++ })
@@ -765,5 +784,6 @@ func (m *Machine) collect(cores []*cpu.Core) *Result {
 		r.Obs = m.Sys.Obs.Report()
 	}
 	r.Check = m.Sys.Check.Report()
+	r.HostPerf = m.Cfg.Perf.Report()
 	return r
 }

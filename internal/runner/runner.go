@@ -85,6 +85,12 @@ type Stats struct {
 	Interrupted uint64
 	// Saved is the recorded simulation time of every disk hit.
 	Saved time.Duration
+	// SimEvents totals the kernel events executed by jobs this process
+	// simulated (misses only — cached outcomes replayed nothing), and
+	// SimTime their wall-clock; SimEvents/SimTime is the sweep's aggregate
+	// host throughput in events/sec.
+	SimEvents uint64
+	SimTime   time.Duration
 }
 
 // Simulated returns how many simulations actually executed.
@@ -411,6 +417,8 @@ func (r *Runner) run(t *Task) {
 	}
 	r.mu.Lock()
 	r.stats.Misses++
+	r.stats.SimEvents += out.Result.SimEvents
+	r.stats.SimTime += elapsed
 	r.mu.Unlock()
 	t.out = out
 	r.store.removeCkpt(digest)

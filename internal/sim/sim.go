@@ -10,6 +10,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"dynamo/internal/perf"
 )
 
 // Tick is a point in simulated time, measured in clock cycles.
@@ -19,6 +21,9 @@ type Tick uint64
 type event struct {
 	when Tick
 	seq  uint64 // insertion order; breaks ties deterministically
+	// kind attributes the event to the subsystem that scheduled it for
+	// the host-performance self-profiler; it never affects ordering.
+	kind perf.Kind
 	fn   func()
 }
 
@@ -55,6 +60,9 @@ type Engine struct {
 	stopped bool
 	// executed counts events run so far; used by watchdogs and stats.
 	executed uint64
+	// prof, when non-nil, observes every executed event (counts always,
+	// wall-clock on sample strides). The disabled path is one nil check.
+	prof *perf.Profiler
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -73,23 +81,40 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// AttachPerf points the engine at a host-performance self-profiler; every
+// subsequently executed event is then attributed to its scheduling kind.
+// A nil profiler (the default) costs one nil check per event.
+func (e *Engine) AttachPerf(p *perf.Profiler) { e.prof = p }
+
 // Schedule runs fn after delay cycles. A delay of zero runs fn later in the
 // current cycle, after all previously scheduled work for this cycle.
 func (e *Engine) Schedule(delay Tick, fn func()) {
+	e.ScheduleKind(delay, perf.KindOther, fn)
+}
+
+// ScheduleKind is Schedule with a subsystem attribution kind for the
+// self-profiler. The kind is purely observational: ordering, determinism
+// and snapshots are unaffected.
+func (e *Engine) ScheduleKind(delay Tick, kind perf.Kind, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule called with nil fn")
 	}
-	ev := &event{when: e.now + delay, seq: e.seq, fn: fn}
+	ev := &event{when: e.now + delay, seq: e.seq, kind: kind, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
 }
 
 // At runs fn at absolute time t, which must not be in the past.
 func (e *Engine) At(t Tick, fn func()) {
+	e.AtKind(t, perf.KindOther, fn)
+}
+
+// AtKind is At with a subsystem attribution kind for the self-profiler.
+func (e *Engine) AtKind(t Tick, kind perf.Kind, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: At(%d) is in the past (now=%d)", t, e.now))
 	}
-	e.Schedule(t-e.now, fn)
+	e.ScheduleKind(t-e.now, kind, fn)
 }
 
 // Stop makes Run or RunUntil return after the current event completes.
@@ -117,7 +142,11 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.when
 	e.executed++
-	ev.fn()
+	if e.prof == nil {
+		ev.fn()
+	} else {
+		e.prof.Exec(ev.kind, len(e.queue), ev.fn)
+	}
 	return true
 }
 

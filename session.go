@@ -9,6 +9,7 @@ import (
 	"dynamo/internal/core"
 	"dynamo/internal/machine"
 	"dynamo/internal/memory"
+	"dynamo/internal/perf"
 	"dynamo/internal/runner"
 	"dynamo/internal/trace"
 	"dynamo/internal/workload"
@@ -147,6 +148,16 @@ func WithCheck() Option {
 	return func(s *Session) { s.opts.Check = true }
 }
 
+// WithHostPerf attaches the host-performance self-profiler: every kernel
+// event is counted per scheduling subsystem, wall-clock cost is sampled
+// (one timed event per perf.DefaultSampleStride), and heap/GC deltas are
+// read via runtime/metrics. The report lands in Result.HostPerf.
+// Profiling is purely observational: simulated results are bit-identical
+// with it on or off.
+func WithHostPerf() Option {
+	return func(s *Session) { s.opts.HostPerf = true }
+}
+
 // WithChaos attaches the deterministic fault injector: protocol-legal
 // timing perturbations (NoC link jitter, HBM channel skew, snoop-response
 // reordering, forced predictor-table eviction pressure) drawn from seed
@@ -273,6 +284,9 @@ func (s *Session) RunPrograms(programs []Program) (*Result, func(addr uint64) ui
 	cfg.Interval = opts.Interval
 	if opts.Check {
 		cfg.Check = &check.Config{}
+	}
+	if opts.HostPerf {
+		cfg.Perf = perf.New(0)
 	}
 	if opts.Profile != nil {
 		if opts.Obs == nil {
