@@ -133,4 +133,59 @@ grep -o '[0-9]* resumed' "$stats/fig7-resume.err" || true
 cmp "$stats/fig7-want.txt" "$stats/fig7-got.txt"
 echo "ci: killed sweep resumed to byte-identical tables"
 
+# Telemetry gate: a served sweep must expose live /metrics, /progress and
+# /jobs endpoints whose counts agree with the sweep's own summary, and
+# serving must not perturb stdout — the tables stay byte-identical to the
+# unserved fig7 run above. The instruments are pure atomics; re-check the
+# package under the race detector.
+go test -race ./internal/telemetry
+echo "ci: telemetry gate"
+tcache="$stats/telemetry-cache"
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "$tcache" \
+	-serve 127.0.0.1:0 -serve-grace 60s fig7 \
+	>"$stats/fig7-served.txt" 2>"$stats/fig7-serve.err" &
+served=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's!.*serving telemetry on http://!!p' "$stats/fig7-serve.err" | head -1)
+	[ -n "$addr" ] && break
+	sleep 0.2
+done
+[ -n "$addr" ] || { echo "ci: telemetry server never announced an address" >&2; exit 1; }
+done_jobs=0
+total_jobs=-1
+for _ in $(seq 1 120); do
+	progress=$(curl -fsS "http://$addr/progress") || { sleep 0.5; continue; }
+	done_jobs=$(echo "$progress" | sed -n 's/.*"done_jobs": \([0-9]*\).*/\1/p')
+	total_jobs=$(echo "$progress" | sed -n 's/.*"total_jobs": \([0-9]*\).*/\1/p')
+	[ -n "$done_jobs" ] && [ "$done_jobs" -gt 0 ] && [ "$done_jobs" = "$total_jobs" ] && break
+	sleep 0.5
+done
+[ "$done_jobs" -gt 0 ] && [ "$done_jobs" = "$total_jobs" ] || {
+	echo "ci: sweep never converged on /progress (done=$done_jobs total=$total_jobs)" >&2
+	exit 1
+}
+curl -fsS "http://$addr/metrics" >"$stats/metrics.txt"
+for family in \
+	dynamo_sweep_requests_total dynamo_sweep_jobs_total \
+	dynamo_sweep_cache_total dynamo_sweep_job_duration_seconds_bucket; do
+	grep -q "^$family" "$stats/metrics.txt" || {
+		echo "ci: /metrics missing family $family" >&2
+		exit 1
+	}
+done
+metric_done=$(sed -n 's/^dynamo_sweep_jobs_total{state="done"} \([0-9]*\)$/\1/p' "$stats/metrics.txt")
+[ "$metric_done" = "$done_jobs" ] || {
+	echo "ci: /metrics done count $metric_done != /progress $done_jobs" >&2
+	exit 1
+}
+curl -fsS "http://$addr/jobs?n=4" | grep -q '"digest"' || {
+	echo "ci: /jobs returned no trace spans" >&2
+	exit 1
+}
+kill -INT "$served" 2>/dev/null || true
+wait "$served" 2>/dev/null || true
+cmp "$stats/fig7-want.txt" "$stats/fig7-served.txt"
+echo "ci: served sweep scraped clean with byte-identical tables ($done_jobs jobs)"
+
 echo "ci: OK"

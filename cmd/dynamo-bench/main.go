@@ -206,15 +206,16 @@ func run(args []string) {
 	quick := fs.Bool("quick", false, "half-scale matrix for smoke tests (cells never compare against full-scale files)")
 	cpuprofile := cliflags.CPUProfile(fs)
 	memprofile := cliflags.MemProfile(fs)
+	verbose, quiet := cliflags.Verbosity(fs)
 	fs.Parse(args)
+	log := cliflags.NewLogger(*verbose, *quiet)
 	if *trials < 1 {
-		fmt.Fprintln(os.Stderr, "dynamo-bench: -trials must be at least 1")
+		log.Errorf("dynamo-bench: -trials must be at least 1")
 		os.Exit(2)
 	}
 	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	defer stopProfiles()
 
@@ -227,24 +228,23 @@ func run(args []string) {
 	for _, key := range matrix(scale) {
 		cell, err := runCell(key, *warmup, *trials)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dynamo-bench: %s: %v\n", key, err)
-			os.Exit(1)
+			log.Fatalf("dynamo-bench: %s: %v", key, err)
 		}
-		fmt.Fprintf(os.Stderr, "  %-40s %8.3f M events/s (±%4.1f%%), %6.0f ns/event, %5.1f allocs/event\n",
+		log.Infof("  %-40s %8.3f M events/s (±%4.1f%%), %6.0f ns/event, %5.1f allocs/event",
 			key, cell.EventsPerSec/1e6, 100*cell.Spread, cell.NSPerEvent, cell.AllocsPerEvent)
 		file.Cells = append(file.Cells, cell)
 	}
 	if err := file.WriteFile(*out); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "dynamo-bench: %d cells x %d trials in %.1fs -> %s\n",
+	log.Infof("dynamo-bench: %d cells x %d trials in %.1fs -> %s",
 		len(file.Cells), *trials, time.Since(start).Seconds(), *out)
 }
 
 func compare(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	tol := fs.Float64("tolerance", 0.1, "relative events/sec drop that fails the gate (0.1 = 10%)")
+	verbose, quiet := cliflags.Verbosity(fs)
 	fs.Parse(args)
 	// Accept flags after the positional files too
 	// (compare OLD NEW -tolerance X), re-parsing the tail.
@@ -256,22 +256,23 @@ func compare(args []string) {
 	if len(pos) != 2 {
 		usage()
 	}
+	log := cliflags.NewLogger(*verbose, *quiet)
 	old, err := bench.ReadFile(pos[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Errorf("%v", err)
 		os.Exit(2)
 	}
 	new, err := bench.ReadFile(pos[1])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		log.Errorf("%v", err)
 		os.Exit(2)
 	}
 	c := bench.Compare(old, new, *tol)
 	for _, w := range c.Warnings {
-		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		log.Errorf("warning: %s", w)
 	}
 	if c.Matched == 0 {
-		fmt.Fprintln(os.Stderr, "dynamo-bench: no matching cells between the two files")
+		log.Errorf("dynamo-bench: no matching cells between the two files")
 		os.Exit(2)
 	}
 	if !c.Ok() {

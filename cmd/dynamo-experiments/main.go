@@ -14,7 +14,14 @@
 // persisted under -cache-dir — a second invocation with the same flags
 // simulates nothing. Tables go to stdout and are byte-identical for any
 // -jobs value and any cache state; timing, progress and cache statistics
-// go to stderr.
+// go to stderr (-v adds per-run detail, -quiet drops the chatter).
+//
+// A sweep is observable while it runs: on a terminal a live progress line
+// tracks done/total jobs, cache hits and the ETA, and -serve exposes
+// /metrics (Prometheus text format), /progress (JSON snapshot) and /jobs
+// (recent per-job trace spans) over HTTP, with a structured JSONL job
+// journal written next to the cache (-serve-grace keeps the endpoints up
+// after the sweep finishes, for a final scrape).
 //
 // A sweep is crash-safe: with -ckpt-every, running jobs periodically
 // checkpoint into the cache directory, and SIGINT/SIGTERM stop the sweep
@@ -33,12 +40,14 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"time"
 
 	"dynamo"
 	"dynamo/internal/cliflags"
 	"dynamo/internal/experiments"
+	"dynamo/internal/telemetry"
 )
 
 func main() {
@@ -48,21 +57,24 @@ func main() {
 	jobs := cliflags.Jobs(flag.CommandLine)
 	cacheDir := cliflags.CacheDir(flag.CommandLine, cliflags.DefaultCacheDir)
 	quick := flag.Bool("quick", false, "scaled-down suite (8 threads, scale 0.05) unless -threads/-scale are given")
-	verbose := flag.Bool("v", false, "log every simulation run")
+	verbose, quiet := cliflags.Verbosity(flag.CommandLine)
 	csvDir := flag.String("csv", "", "also write each experiment's table as CSV into this directory")
 	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
 	resume := cliflags.Resume(flag.CommandLine)
 	retries := cliflags.Retries(flag.CommandLine)
+	serve := cliflags.Serve(flag.CommandLine)
+	serveGrace := flag.Duration("serve-grace", 0, "with -serve, keep the telemetry endpoints up this long after the sweep finishes")
 	statsJSON := flag.String("stats-json", "", "write machine-readable sweep stats as JSON to this file")
 	cpuprofile := cliflags.CPUProfile(flag.CommandLine)
 	memprofile := cliflags.MemProfile(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
+	log := cliflags.NewLogger(*verbose, *quiet)
+
 	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	defer stopProfiles()
 
@@ -106,10 +118,47 @@ func main() {
 		CkptEvery: *ckptEvery,
 		Resume:    *resume,
 		Interrupt: interrupt,
+		Log:       log.DebugWriter(),
 	}
-	if *verbose {
-		opts.Log = os.Stderr
+
+	// Telemetry runs whenever something consumes it: the -serve endpoints
+	// or the interactive progress line. It observes the sweep only —
+	// tables on stdout are byte-identical with it on or off.
+	liveProgress := !*quiet && !*verbose && stderrIsTTY()
+	var tel *telemetry.Sweep
+	if *serve != "" || liveProgress {
+		var topts telemetry.SweepOptions
+		if *serve != "" && *cacheDir != "" {
+			// The structured job journal lives next to the cache it
+			// describes; a journal failure degrades observability, never
+			// the sweep.
+			if err := os.MkdirAll(*cacheDir, 0o755); err == nil {
+				if j, err := telemetry.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl")); err == nil {
+					topts.Journal = j
+				} else {
+					log.Errorf("dynamo-experiments: %v", err)
+				}
+			}
+		}
+		tel = telemetry.NewSweep(topts)
+		defer tel.Close()
+		opts.Telemetry = tel
 	}
+	var srv *telemetry.Server
+	if *serve != "" {
+		srv, err = telemetry.Serve(*serve, tel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Infof("dynamo-experiments: serving telemetry on http://%s", srv.Addr())
+	}
+
+	stopProgress := func() {}
+	if liveProgress {
+		stopProgress = startProgressLine(tel)
+	}
+
 	suite := experiments.NewSuite(opts)
 
 	ids := flag.Args()
@@ -125,62 +174,141 @@ func main() {
 	for _, id := range ids {
 		e, err := experiments.Find(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			stopProgress()
+			log.Fatal(err)
 		}
 		start := time.Now()
 		table, err := e.Run(suite)
 		if err != nil {
+			stopProgress()
 			if errors.Is(err, dynamo.ErrInterrupted) {
 				st := suite.Runner().Stats()
-				fmt.Fprintf(os.Stderr, "dynamo-experiments: interrupted during %s (%d jobs cancelled, %d results cached)\n",
+				log.Errorf("dynamo-experiments: interrupted during %s (%d jobs cancelled, %d results cached)",
 					e.ID, st.Interrupted, st.Misses+st.DiskHits)
-				fmt.Fprintf(os.Stderr, "dynamo-experiments: re-run with -resume (same flags) to continue from the checkpoints in %s\n",
+				log.Errorf("dynamo-experiments: re-run with -resume (same flags) to continue from the checkpoints in %s",
 					*cacheDir)
 				os.Exit(130)
 			}
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			log.Fatalf("%s: %v", e.ID, err)
 		}
-		fmt.Fprintf(os.Stderr, "%s: %.1fs\n", e.ID, time.Since(start).Seconds())
+		clearProgressLine(liveProgress)
+		log.Infof("%s: %.1fs", e.ID, time.Since(start).Seconds())
 		fmt.Printf("== %s — %s\n\n%s\n", e.ID, e.Title, table)
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, e.ID+".csv")
 			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				stopProgress()
+				log.Fatal(err)
 			}
 		}
 	}
+	stopProgress()
 
 	st := suite.Runner().Stats()
-	fmt.Fprintf(os.Stderr,
+	w := log.InfoWriter()
+	fmt.Fprintf(w,
 		"runner: %d requests -> %d jobs: %d simulated, %d memory hits, %d disk hits, %d evictions",
 		st.Requests, st.Submitted, st.Simulated(), st.Hits, st.DiskHits, st.Evictions)
 	if st.Retries > 0 {
-		fmt.Fprintf(os.Stderr, ", %d retries", st.Retries)
+		fmt.Fprintf(w, ", %d retries", st.Retries)
 	}
 	if st.Resumed > 0 {
-		fmt.Fprintf(os.Stderr, ", %d resumed", st.Resumed)
+		fmt.Fprintf(w, ", %d resumed", st.Resumed)
 	}
 	if st.Saved > 0 {
-		fmt.Fprintf(os.Stderr, ", saved %s", st.Saved.Round(time.Millisecond))
+		fmt.Fprintf(w, ", saved %s", st.Saved.Round(time.Millisecond))
 	}
 	if st.SimEvents > 0 && st.SimTime > 0 {
-		fmt.Fprintf(os.Stderr, ", %d events @ %.2f M events/s",
+		fmt.Fprintf(w, ", %d events @ %.2f M events/s",
 			st.SimEvents, float64(st.SimEvents)/st.SimTime.Seconds()/1e6)
 	}
-	fmt.Fprintf(os.Stderr, " (wall %.1fs, jobs=%d)\n",
+	fmt.Fprintf(w, " (wall %.1fs, jobs=%d)\n",
 		time.Since(suiteStart).Seconds(), suite.Runner().Jobs())
 	if st.Simulated() == 0 && st.DiskHits > 0 {
-		fmt.Fprintln(os.Stderr, "runner: warm cache — 100% cache hits, zero simulations executed")
+		log.Infof("runner: warm cache — 100%% cache hits, zero simulations executed")
 	}
 	if *statsJSON != "" {
 		if err := writeStatsJSON(*statsJSON, st, suite.Runner().Jobs(), time.Since(suiteStart)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 	}
+
+	if srv != nil && *serveGrace > 0 {
+		// Leave the endpoints up for a final scrape (CI gates, a last
+		// Prometheus pull); SIGINT ends the grace period early.
+		log.Infof("dynamo-experiments: telemetry stays on http://%s for %s (ctrl-c to stop)",
+			srv.Addr(), serveGrace)
+		select {
+		case <-time.After(*serveGrace):
+		case <-interrupt:
+		}
+	}
+}
+
+// stderrIsTTY reports whether stderr is an interactive terminal — the
+// live progress line stays off under redirection and in CI.
+func stderrIsTTY() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// clearProgressLine erases the in-place progress line so a regular log
+// line does not append to it.
+func clearProgressLine(active bool) {
+	if active {
+		fmt.Fprint(os.Stderr, "\r\x1b[K")
+	}
+}
+
+// startProgressLine refreshes a single in-place stderr line with the
+// sweep's live state (done/total, cache hits, retries, ETA) until the
+// returned stop function is called.
+func startProgressLine(tel *telemetry.Sweep) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				clearProgressLine(true)
+				return
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "\r\x1b[K%s", progressLine(tel.Progress()))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// progressLine renders one human-readable sweep status line.
+func progressLine(p telemetry.Progress) string {
+	line := fmt.Sprintf("  sweep: %d/%d jobs", p.Finished(), p.TotalJobs)
+	if hits := p.MemoryHits + p.DiskHits; hits > 0 {
+		line += fmt.Sprintf(", %d cache hits", hits)
+	}
+	if p.Running > 0 {
+		line += fmt.Sprintf(", %d running", p.Running)
+	}
+	if p.Retries > 0 {
+		line += fmt.Sprintf(", %d retries", p.Retries)
+	}
+	if p.FailedJobs > 0 {
+		line += fmt.Sprintf(", %d failed", p.FailedJobs)
+	}
+	if p.ETASeconds > 0 {
+		line += ", ETA " + (time.Duration(p.ETASeconds * float64(time.Second))).Round(time.Second).String()
+	}
+	return line
 }
 
 // writeStatsJSON renders the sweep's runner counters plus derived host

@@ -66,15 +66,16 @@ func snapshot(args []string) {
 	out := fs.String("o", "", "output file (default stdout)")
 	cpuprofile := cliflags.CPUProfile(fs)
 	memprofile := cliflags.MemProfile(fs)
+	verbose, quiet := cliflags.Verbosity(fs)
 	fs.Parse(args)
+	log := cliflags.NewLogger(*verbose, *quiet)
 	if *wl == "" {
-		fmt.Fprintln(os.Stderr, "dynamo-stats: -workload is required")
+		log.Errorf("dynamo-stats: -workload is required")
 		os.Exit(2)
 	}
 	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	defer stopProfiles()
 
@@ -90,13 +91,11 @@ func snapshot(args []string) {
 		dynamo.WithInput(*input),
 		dynamo.WithObs(dynamo.NewObs()))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	res, err := s.Run(*wl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	snap := regress.FromResult(map[string]string{
 		"workload": *wl,
@@ -112,15 +111,13 @@ func snapshot(args []string) {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := snap.WriteJSON(w); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 }
 
@@ -128,12 +125,14 @@ func diff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	rtol := fs.Float64("rtol", 0, "relative tolerance (0.02 = 2%)")
 	atol := fs.Float64("atol", 0, "absolute slack for near-zero metrics")
+	verbose, quiet := cliflags.Verbosity(fs)
 	fs.Parse(args)
+	log := cliflags.NewLogger(*verbose, *quiet)
 	if fs.NArg() != 2 {
 		usage()
 	}
-	baseline := readSnapshot(fs.Arg(0))
-	current := readSnapshot(fs.Arg(1))
+	baseline := readSnapshot(log, fs.Arg(0))
+	current := readSnapshot(log, fs.Arg(1))
 
 	drifts := regress.Diff(baseline, current, regress.Tolerance{Rel: *rtol, Abs: *atol})
 	if len(drifts) == 0 {
@@ -149,17 +148,15 @@ func diff(args []string) {
 	os.Exit(1)
 }
 
-func readSnapshot(path string) *regress.Snapshot {
+func readSnapshot(log *cliflags.Logger, path string) *regress.Snapshot {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	defer f.Close()
 	s, err := regress.Read(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dynamo-stats: %s: %v\n", path, err)
-		os.Exit(1)
+		log.Fatalf("dynamo-stats: %s: %v", path, err)
 	}
 	return s
 }

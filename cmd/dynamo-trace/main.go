@@ -53,8 +53,7 @@ func main() {
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dynamo-trace:", err)
-		os.Exit(1)
+		cliflags.NewLogger(false, false).Fatalf("dynamo-trace: %v", err)
 	}
 }
 
@@ -226,7 +225,9 @@ func bisect(args []string) error {
 	ckptFile := fs.String("ckpt", "", "checkpoint from the same run bounding the search from below")
 	cpuprofile := cliflags.CPUProfile(fs)
 	memprofile := cliflags.MemProfile(fs)
+	verbose, quiet := cliflags.Verbosity(fs)
 	fs.Parse(args)
+	log := cliflags.NewLogger(*verbose, *quiet)
 	if *wl == "" {
 		return fmt.Errorf("bisect: -workload is required")
 	}
@@ -341,7 +342,7 @@ func bisect(args []string) error {
 		if bad, _, err := probe(ck.Event); err != nil {
 			return err
 		} else if bad {
-			fmt.Fprintf(os.Stderr, "bisect: checkpoint at event %d already violates; searching from event 0\n", ck.Event)
+			log.Infof("bisect: checkpoint at event %d already violates; searching from event 0", ck.Event)
 		} else {
 			lo = ck.Event
 		}
@@ -361,7 +362,7 @@ func bisect(args []string) error {
 		} else {
 			lo = mid
 		}
-		fmt.Fprintf(os.Stderr, "bisect: events (%d, %d] after %d replays\n", lo, hi, probes)
+		log.Infof("bisect: events (%d, %d] after %d replays", lo, hi, probes)
 	}
 
 	fmt.Printf("first violating prefix: %d events (window (%d, %d], %d replays over a %d-event span)\n",

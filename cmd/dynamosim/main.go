@@ -60,16 +60,15 @@ func writeCheckpoint(path string, ck *dynamo.Checkpoint) error {
 
 // exitRunError reports a failed or interrupted run and exits non-zero.
 // An interrupted run with checkpointing enabled prints the resume hint.
-func exitRunError(err error, ckptFile string) {
+func exitRunError(log *cliflags.Logger, err error, ckptFile string) {
 	if errors.Is(err, dynamo.ErrInterrupted) {
-		fmt.Fprintln(os.Stderr, "dynamosim: interrupted")
+		log.Errorf("dynamosim: interrupted")
 		if ckptFile != "" {
-			fmt.Fprintf(os.Stderr, "dynamosim: resume with -resume %s\n", ckptFile)
+			log.Errorf("dynamosim: resume with -resume %s", ckptFile)
 		}
 		os.Exit(130)
 	}
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	log.Fatal(err)
 }
 
 func main() {
@@ -98,13 +97,15 @@ func main() {
 	cpuprofile := cliflags.CPUProfile(flag.CommandLine)
 	memprofile := cliflags.MemProfile(flag.CommandLine)
 	jsonOut := cliflags.JSON(flag.CommandLine)
+	verbose, quiet := cliflags.Verbosity(flag.CommandLine)
 	list := flag.Bool("list", false, "list workloads and policies")
 	flag.Parse()
 
+	log := cliflags.NewLogger(*verbose, *quiet)
+
 	stopProfiles, err := cliflags.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	defer stopProfiles()
 
@@ -113,8 +114,7 @@ func main() {
 		for _, name := range dynamo.Workloads() {
 			info, err := dynamo.DescribeWorkload(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				log.Fatal(err)
 			}
 			inputs := ""
 			if len(info.Inputs) > 0 {
@@ -133,7 +133,7 @@ func main() {
 		return
 	}
 	if *wl == "" {
-		fmt.Fprintln(os.Stderr, "dynamosim: -workload is required (try -list)")
+		log.Errorf("dynamosim: -workload is required (try -list)")
 		os.Exit(2)
 	}
 
@@ -180,7 +180,7 @@ func main() {
 	if *ckptFile != "" {
 		opts = append(opts, dynamo.WithCheckpoint(*ckptEvery, func(ck *dynamo.Checkpoint) {
 			if err := writeCheckpoint(*ckptFile, ck); err != nil {
-				fmt.Fprintf(os.Stderr, "dynamosim: checkpoint write failed: %v\n", err)
+				log.Errorf("dynamosim: checkpoint write failed: %v", err)
 			}
 		}))
 	}
@@ -198,31 +198,28 @@ func main() {
 
 	session, err := dynamo.New(cfg, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		log.Fatal(err)
 	}
 	var res *dynamo.Result
 	if *resumeFile != "" {
 		f, err := os.Open(*resumeFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 		ck, err := dynamo.ReadCheckpoint(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "dynamosim: resuming from %s (event %d)\n", *resumeFile, ck.Event)
+		log.Infof("dynamosim: resuming from %s (event %d)", *resumeFile, ck.Event)
 		res, err = session.Resume(*wl, ck)
 		if err != nil {
-			exitRunError(err, *ckptFile)
+			exitRunError(log, err, *ckptFile)
 		}
 	} else {
 		res, err = session.Run(*wl)
 		if err != nil {
-			exitRunError(err, *ckptFile)
+			exitRunError(log, err, *ckptFile)
 		}
 	}
 
@@ -236,8 +233,7 @@ func main() {
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 	}
 	if *profileJSON != "" {
@@ -255,23 +251,20 @@ func main() {
 	if *timeline != "" {
 		f, err := os.Create(*timeline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 		if err := bus.WriteTimeline(f); err == nil {
 			err = f.Close()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			log.Fatal(err)
 		}
 		return
 	}

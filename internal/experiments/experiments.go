@@ -20,6 +20,7 @@ import (
 	"dynamo/internal/machine"
 	"dynamo/internal/runner"
 	"dynamo/internal/stats"
+	"dynamo/internal/telemetry"
 	"dynamo/internal/workload"
 )
 
@@ -50,6 +51,9 @@ type Options struct {
 	Resume bool
 	// Interrupt, when non-nil, cancels the suite once signaled or closed.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, receives sweep metrics and per-job trace
+	// spans (see internal/telemetry); results are unaffected.
+	Telemetry *telemetry.Sweep
 }
 
 func (o Options) fill() Options {
@@ -97,6 +101,7 @@ func NewSuite(o Options) *Suite {
 		CkptEvery: o.CkptEvery,
 		Resume:    o.Resume,
 		Interrupt: o.Interrupt,
+		Telemetry: o.Telemetry,
 	})}
 }
 

@@ -1,0 +1,189 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dynamo/internal/obs"
+	"dynamo/internal/sim"
+)
+
+// csvColumns is the fixed column count of WriteCSV: interval bounds and
+// instructions, a (count, mean) pair per class, then NoC/HBM/AMT columns.
+func csvColumns() int { return 3 + 2*len(obs.AllClasses()) + 8 }
+
+func TestIntervalExportEmptyRing(t *testing.T) {
+	r := NewRecorder(100, 4)
+
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("empty ring CSV = %d lines, want header only:\n%s", len(lines), csv.String())
+	}
+	if got := len(strings.Split(lines[0], ",")); got != csvColumns() {
+		t.Fatalf("header columns = %d, want %d", got, csvColumns())
+	}
+	if !strings.HasPrefix(lines[0], "start,end,instructions,") ||
+		!strings.HasSuffix(lines[0], ",amt_hits,amt_misses,amt_hit_rate") {
+		t.Fatalf("header = %q", lines[0])
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var s Series
+	if err := json.Unmarshal(js.Bytes(), &s); err != nil {
+		t.Fatalf("empty ring JSON does not parse: %v\n%s", err, js.String())
+	}
+	if s.Period != 100 || s.Dropped != 0 || len(s.Records) != 0 {
+		t.Fatalf("empty series = %+v", s)
+	}
+}
+
+func TestIntervalExportSingleRecordNoBus(t *testing.T) {
+	r := NewRecorder(50, 4)
+	// A run without a bus passes nil histograms: class latency columns must
+	// still line up, rendered as zeros.
+	r.Observe(50, Sample{Instructions: 123, FlitHops: 10}, nil)
+
+	if r.Len() != 1 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	rec := r.Series().Records[0]
+	if rec.Start != 0 || rec.End != 50 || rec.Instructions != 123 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.Classes) != 0 {
+		t.Fatalf("nil histograms recorded %d class deltas", len(rec.Classes))
+	}
+	// Links/LineBytes of 0 disable the derived rates.
+	if rec.LinkUtilization != 0 || rec.HBMBandwidth != 0 {
+		t.Fatalf("derived rates without topology: %+v", rec)
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 row", len(lines))
+	}
+	row := strings.Split(lines[1], ",")
+	if len(row) != csvColumns() {
+		t.Fatalf("row columns = %d, want %d:\n%s", len(row), csvColumns(), lines[1])
+	}
+	if row[0] != "0" || row[1] != "50" || row[2] != "123" {
+		t.Fatalf("row bounds = %v", row[:3])
+	}
+	// The zero-fill branch: every class pair is ",0,0.000".
+	for i := 0; i < len(obs.AllClasses()); i++ {
+		if row[3+2*i] != "0" || row[4+2*i] != "0.000" {
+			t.Fatalf("class pair %d = (%s, %s), want (0, 0.000)", i, row[3+2*i], row[4+2*i])
+		}
+	}
+}
+
+func TestIntervalExportRingWraparound(t *testing.T) {
+	r := NewRecorder(10, 2)
+	for i := 1; i <= 4; i++ {
+		r.Observe(sim.Tick(i*10), Sample{Instructions: uint64(i) * 100}, nil)
+	}
+
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want cap 2", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	s := r.Series()
+	if s.Dropped != 2 || len(s.Records) != 2 {
+		t.Fatalf("series = dropped %d, %d records", s.Dropped, len(s.Records))
+	}
+	// The two oldest intervals were evicted; the survivors are [20,30) and
+	// [30,40), each with the 100-instruction delta.
+	if s.Records[0].Start != 20 || s.Records[0].End != 30 ||
+		s.Records[1].Start != 30 || s.Records[1].End != 40 {
+		t.Fatalf("surviving bounds: %+v", s.Records)
+	}
+	for i, rec := range s.Records {
+		if rec.Instructions != 100 {
+			t.Fatalf("record %d instructions = %d, want delta 100", i, rec.Instructions)
+		}
+	}
+
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows", got)
+	}
+}
+
+func TestIntervalObserveIgnoresZeroLengthInterval(t *testing.T) {
+	r := NewRecorder(10, 4)
+	r.Observe(10, Sample{Instructions: 100}, nil)
+	// The machine unconditionally samples at drain time; a re-sample of the
+	// same tick (or an earlier one) must not create an empty interval.
+	r.Observe(10, Sample{Instructions: 999}, nil)
+	r.Observe(5, Sample{Instructions: 999}, nil)
+	r.Observe(0, Sample{}, nil)
+
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (zero-length intervals ignored)", r.Len())
+	}
+	rec := r.Series().Records[0]
+	if rec.Start != 0 || rec.End != 10 || rec.Instructions != 100 {
+		t.Fatalf("record = %+v", rec)
+	}
+	// The ignored samples did not disturb the delta baseline.
+	r.Observe(20, Sample{Instructions: 150}, nil)
+	if got := r.Series().Records[1].Instructions; got != 50 {
+		t.Fatalf("post-ignore delta = %d, want 50", got)
+	}
+}
+
+func TestIntervalJSONRoundTripWithBus(t *testing.T) {
+	b := obs.New(obs.Options{})
+	r := NewRecorder(100, 4)
+
+	id := b.BeginTxn(0, obs.ClassNearAMO, 0, 0)
+	b.EndTxn(id, 40)
+	b.Count("pred.amt.hit", 2)
+	r.Observe(100, Sample{Instructions: 500, Links: 4, LineBytes: 64}, b.Histograms())
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var s Series
+	if err := json.Unmarshal(js.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records) != 1 {
+		t.Fatalf("records = %d", len(s.Records))
+	}
+	rec := s.Records[0]
+	if len(rec.Classes) != len(obs.AllClasses()) {
+		t.Fatalf("classes = %d, want full set %d", len(rec.Classes), len(obs.AllClasses()))
+	}
+	var near ClassDelta
+	for _, d := range rec.Classes {
+		if d.Name == obs.ClassNearAMO.String() {
+			near = d
+		}
+	}
+	if near.Count != 1 || near.Cycles != 40 || near.Mean != 40 {
+		t.Fatalf("near delta survived JSON badly: %+v", near)
+	}
+	if rec.AMTHits != 2 || rec.AMTHitRate != 1.0 {
+		t.Fatalf("amt: %+v", rec)
+	}
+}

@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -111,16 +110,8 @@ func (b *Bus) WriteTimeline(w io.Writer) error {
 }
 
 func (tl *Timeline) write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
-	first := true
-	emit := func(format string, args ...any) {
-		if !first {
-			bw.WriteByte(',')
-		}
-		first = false
-		fmt.Fprintf(bw, format, args...)
-	}
+	te := NewTraceEvents(w)
+	emit := te.Emit
 
 	// Track metadata: name every process and every used thread.
 	used := make(map[Track]bool)
@@ -185,8 +176,7 @@ func (tl *Timeline) write(w io.Writer) error {
 			s.name, pid(s.track.Group), s.track.ID, s.start, s.dur)
 	}
 
-	bw.WriteString("]}\n")
-	return bw.Flush()
+	return te.Close()
 }
 
 // Events reports how many transactions and spans the timeline holds.

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TraceEvents streams one Chrome trace-event JSON document — the format
+// ui.perfetto.dev and chrome://tracing open natively. It writes the
+// document header on construction, comma-separates emitted events, and
+// closes the array on Close. Both the simulation timeline (WriteTimeline)
+// and the sweep job tracer (internal/telemetry) render through it, so
+// their exports share one schema and one escaping discipline.
+type TraceEvents struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+// NewTraceEvents starts a trace-event document on w. Simulated cycles (or
+// any microsecond-granularity timestamps) render with 1 unit = 1 us.
+func NewTraceEvents(w io.Writer) *TraceEvents {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	return &TraceEvents{bw: bw, first: true}
+}
+
+// Emit appends one event object, formatted printf-style. The format must
+// produce a complete JSON object; use %q for any free-form string so
+// quoting stays JSON-clean.
+func (t *TraceEvents) Emit(format string, args ...any) {
+	if !t.first {
+		t.bw.WriteByte(',')
+	}
+	t.first = false
+	fmt.Fprintf(t.bw, format, args...)
+}
+
+// Close terminates the event array and flushes the writer.
+func (t *TraceEvents) Close() error {
+	t.bw.WriteString("]}\n")
+	return t.bw.Flush()
+}

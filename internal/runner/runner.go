@@ -13,6 +13,7 @@ import (
 	"dynamo/internal/checkpoint"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs/profile"
+	"dynamo/internal/telemetry"
 )
 
 // Options configures a Runner.
@@ -46,6 +47,15 @@ type Options struct {
 	// queued jobs abort immediately, running jobs checkpoint and stop,
 	// and every cancelled job reports machine.ErrInterrupted.
 	Interrupt <-chan struct{}
+	// Telemetry, when non-nil, receives metrics and a structured job span
+	// from every submit, cache, run, retry, quarantine and interrupt path.
+	// Nil costs nothing: the hot path does not allocate.
+	Telemetry *telemetry.Sweep
+	// ServeAddr, when non-empty, serves telemetry over HTTP (/metrics,
+	// /progress, /jobs) on the given host:port (":0" picks a free port) for
+	// the runner's lifetime; a journal-less Telemetry surface is created
+	// automatically when none was supplied. See Runner.TelemetryAddr.
+	ServeAddr string
 }
 
 // Outcome is a completed job's reports.
@@ -135,6 +145,7 @@ type Task struct {
 	done chan struct{}
 	out  *Outcome
 	err  error
+	jt   *telemetry.Job // nil unless telemetry is enabled
 }
 
 // Wait blocks until the job completes and returns its outcome.
@@ -147,9 +158,13 @@ func (t *Task) Wait() (*Outcome, error) {
 // coalesce into one job; completed jobs stay in memory for the Runner's
 // lifetime and, with a cache directory, persist across processes.
 type Runner struct {
-	opts  Options
-	store *store
-	sem   chan struct{}
+	opts   Options
+	store  *store
+	sem    chan struct{}
+	tel    *telemetry.Sweep  // nil: telemetry disabled
+	srv    *telemetry.Server // nil: not serving
+	srvErr error
+	ownTel bool // the runner created tel and closes it
 
 	mu     sync.Mutex
 	tasks  map[string]*Task
@@ -163,16 +178,62 @@ func New(opts Options) *Runner {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
+	r := &Runner{
 		opts:  opts,
 		store: newStore(opts.CacheDir),
 		sem:   make(chan struct{}, opts.Jobs),
+		tel:   opts.Telemetry,
 		tasks: make(map[string]*Task),
 	}
+	if opts.ServeAddr != "" && r.tel == nil {
+		r.tel = telemetry.NewSweep(telemetry.SweepOptions{})
+		r.ownTel = true
+	}
+	r.tel.SetWorkers(opts.Jobs)
+	if opts.ServeAddr != "" {
+		// A bind failure degrades observability, never the sweep; it is
+		// reported through TelemetryAddr's error.
+		r.srv, r.srvErr = telemetry.Serve(opts.ServeAddr, r.tel)
+	}
+	return r
 }
 
 // Jobs returns the worker-pool size.
 func (r *Runner) Jobs() int { return r.opts.Jobs }
+
+// Telemetry returns the runner's telemetry surface (nil when disabled).
+func (r *Runner) Telemetry() *telemetry.Sweep { return r.tel }
+
+// TelemetryAddr returns the telemetry server's bound address, or the bind
+// error when Options.ServeAddr could not be served ("" when not serving).
+func (r *Runner) TelemetryAddr() (string, error) {
+	if r.srvErr != nil {
+		return "", r.srvErr
+	}
+	if r.srv == nil {
+		return "", nil
+	}
+	return r.srv.Addr(), nil
+}
+
+// Close releases the runner's observability resources: it stops the
+// telemetry server, if one is running, and closes the telemetry surface
+// the runner created itself (a caller-supplied Options.Telemetry stays
+// open — its journal belongs to the caller).
+func (r *Runner) Close() error {
+	var first error
+	if r.srv != nil {
+		first = r.srv.Close()
+		r.srv = nil
+	}
+	if r.ownTel {
+		if err := r.tel.Close(); err != nil && first == nil {
+			first = err
+		}
+		r.ownTel = false
+	}
+	return first
+}
 
 // Submit enqueues a request and returns its task, coalescing duplicates:
 // submitting a request whose digest is already known returns the existing
@@ -180,18 +241,25 @@ func (r *Runner) Jobs() int { return r.opts.Jobs }
 func (r *Runner) Submit(req Request) *Task {
 	req = req.normalize()
 	digest := req.Digest()
+	r.tel.Submitted()
 	r.mu.Lock()
 	r.stats.Requests++
 	if t, ok := r.tasks[digest]; ok {
 		r.stats.Hits++
 		r.mu.Unlock()
+		r.tel.JobDeduped()
 		return t
 	}
 	t := &Task{req: req, done: make(chan struct{})}
+	if r.tel.Enabled() {
+		// Guarded so the request never renders when telemetry is off.
+		t.jt = r.tel.StartJob(digest, req.String())
+	}
 	r.tasks[digest] = t
 	r.order = append(r.order, t)
 	r.stats.Submitted++
 	r.mu.Unlock()
+	r.tel.JobQueued()
 	go r.run(t)
 	return t
 }
@@ -302,12 +370,15 @@ func (r *Runner) run(t *Task) {
 		r.stats.Saved += elapsed
 		r.mu.Unlock()
 		t.out = out
+		r.tel.JobCached(elapsed)
+		t.jt.Done(telemetry.OutcomeCached, 0, nil)
 		r.logf(t, "cached %s (saved %s)", t.req, elapsed.Round(time.Millisecond))
 		return
 	case errors.Is(err, errEvicted):
 		r.mu.Lock()
 		r.stats.Evictions++
 		r.mu.Unlock()
+		r.tel.Eviction()
 	}
 
 	digest := t.req.Digest()
@@ -329,11 +400,14 @@ func (r *Runner) run(t *Task) {
 				r.mu.Lock()
 				r.stats.Resumed++
 				r.mu.Unlock()
+				r.tel.JobResumed()
+				t.jt.MarkResumed()
 				r.logf(t, "resuming %s from event %d", t.req, ck.Event)
 			case !errors.Is(err, os.ErrNotExist):
 				r.mu.Lock()
 				r.stats.Evictions++
 				r.mu.Unlock()
+				r.tel.Eviction()
 				r.logf(t, "checkpoint evicted: %v", err)
 			}
 		}
@@ -351,15 +425,19 @@ func (r *Runner) run(t *Task) {
 		// The sweep was cancelled while this job sat in the queue; its
 		// persisted checkpoint (if any) stays put for the next resume.
 		<-r.sem
-		r.finishInterrupted(t)
+		r.finishInterrupted(t, true)
 		return
 	}
+	r.tel.JobRunning()
+	t.jt.Begin()
 	start := time.Now()
 	var runErr error
 	attempts := 0
 	for {
 		attempts++
+		t.jt.AttemptStart()
 		out, runErr = safeExecute(t.req, x)
+		t.jt.AttemptEnd(runErr)
 		if runErr == nil {
 			break
 		}
@@ -382,6 +460,7 @@ func (r *Runner) run(t *Task) {
 		r.mu.Lock()
 		r.stats.Retries++
 		r.mu.Unlock()
+		r.tel.Retry()
 		r.logf(t, "retrying %s in %s (attempt %d of %d): %v",
 			t.req, delay, attempts+1, r.opts.Retries+1, runErr)
 		if !r.sleep(delay) {
@@ -391,21 +470,25 @@ func (r *Runner) run(t *Task) {
 	}
 	elapsed = time.Since(start)
 	<-r.sem
+	r.tel.JobRunDone()
 
 	if errors.Is(runErr, machine.ErrInterrupted) {
-		r.finishInterrupted(t)
+		r.finishInterrupted(t, false)
 		return
 	}
 	if runErr != nil {
 		je := &JobError{Request: t.req, Err: runErr}
+		panicked := errors.Is(runErr, ErrJobPanicked)
 		r.mu.Lock()
 		r.stats.Errors++
-		if errors.Is(runErr, ErrJobPanicked) {
+		if panicked {
 			r.stats.Panics++
 		}
 		r.failed = append(r.failed, je)
 		r.mu.Unlock()
 		t.err = je
+		r.tel.JobFailed(panicked, elapsed)
+		t.jt.Done(telemetry.OutcomeFailed, 0, runErr)
 		// Failed runs never enter the result cache; they leave a
 		// quarantine marker beside it for post-mortem instead. Any
 		// persisted checkpoint stays for bisection.
@@ -421,6 +504,8 @@ func (r *Runner) run(t *Task) {
 	r.stats.SimTime += elapsed
 	r.mu.Unlock()
 	t.out = out
+	r.tel.JobSucceeded(elapsed, out.Result.SimEvents)
+	t.jt.Done(telemetry.OutcomeOK, out.Result.SimEvents, nil)
 	r.store.removeCkpt(digest)
 	if err := r.store.save(t.req, out, elapsed); err != nil {
 		// A write failure degrades the cache, not the run.
@@ -432,13 +517,16 @@ func (r *Runner) run(t *Task) {
 // finishInterrupted records a cancelled job: it reports
 // machine.ErrInterrupted through its task but is neither quarantined nor
 // counted as an error — its checkpoint (when one was captured) makes it
-// resumable, not failed.
-func (r *Runner) finishInterrupted(t *Task) {
+// resumable, not failed. fromQueue marks a job cancelled before it ever
+// reached the worker pool.
+func (r *Runner) finishInterrupted(t *Task, fromQueue bool) {
 	je := &JobError{Request: t.req, Err: machine.ErrInterrupted}
 	r.mu.Lock()
 	r.stats.Interrupted++
 	r.mu.Unlock()
 	t.err = je
+	r.tel.JobInterrupted(fromQueue)
+	t.jt.Done(telemetry.OutcomeInterrupted, 0, machine.ErrInterrupted)
 	r.logf(t, "interrupted %s", t.req)
 }
 

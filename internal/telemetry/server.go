@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server exposes a running sweep over HTTP:
+//
+//	/metrics  — Prometheus text exposition (scrape target)
+//	/progress — JSON Progress snapshot (done/total, cache traffic, ETA)
+//	/jobs     — JSON tail of completed job spans (?n= bounds the tail)
+//
+// The server only reads the telemetry surface; it never blocks the sweep.
+type Server struct {
+	s    *Sweep
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves s until
+// Close. Listen errors surface here; request-serving errors are absorbed.
+func Serve(addr string, s *Sweep) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &Server{s: s, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", srv.metrics)
+	mux.HandleFunc("/progress", srv.progress)
+	mux.HandleFunc("/jobs", srv.jobs)
+	mux.HandleFunc("/", srv.index)
+	srv.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.http.Serve(ln)
+	return srv, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits briefly for in-flight requests.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.s.WriteMetrics(w)
+}
+
+func (s *Server) progress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.s.Progress())
+}
+
+func (s *Server) jobs(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "telemetry: ?n= must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	spans := s.s.Tracer().Tail(n)
+	if spans == nil {
+		spans = []JobSpan{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Total uint64    `json:"total"`
+		Jobs  []JobSpan `json:"jobs"`
+	}{s.s.Tracer().Total(), spans})
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "dynamo sweep telemetry\n\n/metrics  Prometheus text format\n/progress JSON progress snapshot\n/jobs     JSON job-span tail (?n=N)\n")
+}

@@ -2,8 +2,10 @@ package dynamo
 
 import (
 	"io"
+	"os"
 
 	"dynamo/internal/runner"
+	"dynamo/internal/telemetry"
 )
 
 // Runner is the public sweep engine: submit many (workload, policy,
@@ -70,6 +72,77 @@ func WithResume() RunnerOption {
 // (when checkpointing is enabled) and stop with ErrInterrupted.
 func WithRunnerInterrupt(ch <-chan struct{}) RunnerOption {
 	return func(o *runner.Options) { o.Interrupt = ch }
+}
+
+// SweepTelemetry is the sweep observability surface: a lock-cheap metrics
+// registry plus a structured per-job tracer, updated by every submit,
+// cache, run, retry, quarantine and interrupt path. A nil *SweepTelemetry
+// is valid and costs nothing. See NewSweepTelemetry and WithTelemetry.
+type SweepTelemetry = telemetry.Sweep
+
+// SweepProgress is a point-in-time sweep snapshot: jobs done/total, queue
+// and worker occupancy, cache traffic, retries and an ETA.
+type SweepProgress = telemetry.Progress
+
+// NewSweepTelemetry builds an enabled telemetry surface. journalPath, when
+// non-empty, appends one JSON line per completed job (the structured span:
+// queue time, attempts, outcome, cache hit, sim events) to that file.
+// Close the surface when the sweep ends to flush the journal.
+func NewSweepTelemetry(journalPath string) (*SweepTelemetry, error) {
+	var o telemetry.SweepOptions
+	if journalPath != "" {
+		j, err := telemetry.OpenJournal(journalPath)
+		if err != nil {
+			return nil, err
+		}
+		o.Journal = j
+	}
+	return telemetry.NewSweep(o), nil
+}
+
+// SweepJobSpan is one job's structured trace span from a telemetry
+// journal: queue time, per-attempt sub-spans, outcome and sim events.
+type SweepJobSpan = telemetry.JobSpan
+
+// ReadJobJournal parses a JSONL job journal written by a telemetry
+// surface (see NewSweepTelemetry) back into spans, oldest first.
+func ReadJobJournal(path string) ([]SweepJobSpan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadJournal(f)
+}
+
+// ExportJobTrace converts a JSONL job journal into a Chrome trace-event
+// file (open at https://ui.perfetto.dev): one lane per concurrent job
+// slot, with queue and attempt sub-slices.
+func ExportJobTrace(journalPath string, w io.Writer) error {
+	f, err := os.Open(journalPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return telemetry.ExportTraceEvents(f, w)
+}
+
+// WithTelemetry attaches a telemetry surface to the runner: metrics
+// (Prometheus-renderable via SweepTelemetry.WriteMetrics), progress
+// snapshots, and per-job trace spans. The surface's lifetime belongs to
+// the caller; the runner never closes it.
+func WithTelemetry(t *SweepTelemetry) RunnerOption {
+	return func(o *runner.Options) { o.Telemetry = t }
+}
+
+// WithServe exposes the runner's telemetry over HTTP on addr (host:port;
+// ":0" picks a free port): /metrics in Prometheus text format, /progress
+// as a JSON snapshot, /jobs as the recent job-span tail. When no
+// WithTelemetry surface was supplied, a journal-less one is created.
+// The bound address (or bind error) is reported by Runner.TelemetryAddr;
+// Runner.Close stops the server.
+func WithServe(addr string) RunnerOption {
+	return func(o *runner.Options) { o.ServeAddr = addr }
 }
 
 // NewRunner builds a sweep runner over the default Table II system.
@@ -158,6 +231,21 @@ func (r *Runner) Wait() error { return r.r.Wait() }
 
 // Stats returns a snapshot of the runner's counters.
 func (r *Runner) Stats() RunnerStats { return r.r.Stats() }
+
+// Telemetry returns the runner's telemetry surface (nil unless enabled
+// with WithTelemetry or WithServe).
+func (r *Runner) Telemetry() *SweepTelemetry { return r.r.Telemetry() }
+
+// TelemetryAddr returns the telemetry server's bound address, or the bind
+// error when the WithServe address could not be served. Both are empty
+// when WithServe was not used.
+func (r *Runner) TelemetryAddr() (string, error) { return r.r.TelemetryAddr() }
+
+// Close releases the runner's observability resources: the telemetry
+// HTTP server, and any telemetry surface the runner created itself. A
+// surface supplied via WithTelemetry stays open. Close does not wait for
+// running jobs — call Wait first.
+func (r *Runner) Close() error { return r.r.Close() }
 
 // Failed returns every failed run so far, in completion order. One bad
 // configuration — even one that panics the simulator — never sinks the

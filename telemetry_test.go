@@ -1,0 +1,89 @@
+package dynamo
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepTelemetryFacade drives the public observability surface end to
+// end: WithTelemetry + WithServe, a journal on disk, live endpoints, and
+// the metrics renderer.
+func TestSweepTelemetryFacade(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal.jsonl")
+	tel, err := NewSweepTelemetry(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+
+	r := NewRunner(WithJobs(2), WithTelemetry(tel), WithServe("127.0.0.1:0"))
+	defer r.Close()
+	addr, err := r.TelemetryAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Telemetry() != tel {
+		t.Fatal("Runner.Telemetry did not return the supplied surface")
+	}
+
+	req := SweepRequest{Workload: "tc", Threads: 2, Scale: 0.05}
+	if _, err := r.Run(req); err != nil {
+		t.Fatal(err)
+	}
+	r.Submit(req) // memory hit
+	if err := r.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	var p SweepProgress
+	resp, err := http.Get("http://" + addr + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalJobs != 1 || p.DoneJobs != 1 || p.MemoryHits != 1 || p.Workers != 2 {
+		t.Errorf("/progress = %+v", p)
+	}
+	if p != tel.Progress() && p.DoneJobs != tel.Progress().DoneJobs {
+		t.Errorf("endpoint and surface disagree: %+v vs %+v", p, tel.Progress())
+	}
+
+	var metrics bytes.Buffer
+	if err := tel.WriteMetrics(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), `dynamo_sweep_jobs_total{state="done"} 1`) {
+		t.Errorf("metrics missing done count:\n%s", metrics.String())
+	}
+
+	// The journal flushed one span for the executed job, readable and
+	// convertible through the facade.
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	spans := tel.Tracer().Tail(0)
+	if len(spans) != 1 || spans[0].Outcome != "ok" || spans[0].SimEvents == 0 {
+		t.Errorf("job spans = %+v", spans)
+	}
+	parsed, err := ReadJobJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Digest != spans[0].Digest {
+		t.Errorf("ReadJobJournal = %+v, want tail %+v", parsed, spans)
+	}
+	var trace bytes.Buffer
+	if err := ExportJobTrace(journal, &trace); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(trace.Bytes()) || !strings.Contains(trace.String(), `"traceEvents"`) {
+		t.Errorf("ExportJobTrace output malformed:\n%s", trace.String())
+	}
+}
