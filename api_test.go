@@ -130,6 +130,91 @@ func apiSurface(t *testing.T) []string {
 	return lines
 }
 
+// TestNoNewDeprecatedSymbols freezes the deprecation set: the legacy
+// entry points below may stay deprecated, but no release may deprecate
+// anything else without updating this list (and writing the migration
+// note that justifies it).
+func TestNoNewDeprecatedSymbols(t *testing.T) {
+	allowed := map[string]bool{
+		"Options":       true,
+		"Run":           true,
+		"RunCounter":    true,
+		"RunPrograms":   true,
+		"WithServe":     true,
+		"WithTelemetry": true,
+	}
+	got := deprecatedSymbols(t)
+	for _, name := range got {
+		if !allowed[name] {
+			t.Errorf("new deprecated symbol %q: either undeprecate it or extend the freeze list deliberately", name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, name := range got {
+		seen[name] = true
+	}
+	for name := range allowed {
+		if !seen[name] {
+			t.Errorf("symbol %q no longer deprecated (or gone): shrink the freeze list", name)
+		}
+	}
+}
+
+// deprecatedSymbols lists every exported package-level symbol whose doc
+// comment carries a "Deprecated:" marker.
+func deprecatedSymbols(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dynamo"]
+	if !ok {
+		t.Fatal("package dynamo not found")
+	}
+	deprecated := func(cg *ast.CommentGroup) bool {
+		return cg != nil && strings.Contains(cg.Text(), "Deprecated:")
+	}
+	var names []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil && d.Name.IsExported() && deprecated(d.Doc) {
+					names = append(names, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					doc := d.Doc
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Doc != nil {
+							doc = sp.Doc
+						}
+						if sp.Name.IsExported() && deprecated(doc) {
+							names = append(names, sp.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if sp.Doc != nil {
+							doc = sp.Doc
+						}
+						for _, n := range sp.Names {
+							if n.IsExported() && deprecated(doc) {
+								names = append(names, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
 // surfaceDiff renders the line-level difference between two surfaces.
 func surfaceDiff(want, got string) string {
 	wantSet := map[string]bool{}

@@ -188,4 +188,45 @@ wait "$served" 2>/dev/null || true
 cmp "$stats/fig7-want.txt" "$stats/fig7-served.txt"
 echo "ci: served sweep scraped clean with byte-identical tables ($done_jobs jobs)"
 
+# Sweep-service gate: the HTTP control plane must run a remote quick
+# suite with stdout tables byte-identical to the local run, survive a
+# SIGTERM mid-sweep (in-flight jobs checkpoint, accepted sweeps persist,
+# the client rides out the refused connections), complete the same work
+# after a -resume restart on the same cache, and answer a rerun entirely
+# from that cache. The scheduler and wire layers are concurrent;
+# re-check the package under the race detector.
+go test -race ./internal/service
+echo "ci: sweep service gate"
+go build -o "$stats/dynamo-serve" ./cmd/dynamo-serve
+scache="$stats/service-cache"
+"$stats/dynamo-serve" -addr 127.0.0.1:0 -cache-dir "$scache" \
+	-ckpt-every 20000 -quiet >"$stats/serve-addr.txt" 2>/dev/null &
+serve=$!
+saddr=""
+for _ in $(seq 1 50); do
+	saddr=$(sed -n 's!^http://!!p' "$stats/serve-addr.txt" | head -1)
+	[ -n "$saddr" ] && break
+	sleep 0.2
+done
+[ -n "$saddr" ] || { echo "ci: dynamo-serve never announced an address" >&2; exit 1; }
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "" -remote "$saddr" \
+	fig7 >"$stats/fig7-remote.txt" 2>/dev/null &
+rsweep=$!
+sleep 1
+echo "ci: SIGTERM mid-sweep, restarting dynamo-serve with -resume"
+kill -TERM "$serve" 2>/dev/null || echo "ci: remote sweep finished before the kill"
+wait "$serve" 2>/dev/null || true
+"$stats/dynamo-serve" -addr "$saddr" -cache-dir "$scache" \
+	-ckpt-every 20000 -resume -quiet >/dev/null 2>&1 &
+serve=$!
+wait "$rsweep"
+cmp "$stats/fig7-want.txt" "$stats/fig7-remote.txt"
+# Rerun: the server's cache answers everything; tables stay identical.
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "" -remote "$saddr" \
+	fig7 >"$stats/fig7-remote2.txt" 2>/dev/null
+cmp "$stats/fig7-want.txt" "$stats/fig7-remote2.txt"
+kill -TERM "$serve" 2>/dev/null || true
+wait "$serve" 2>/dev/null || true
+echo "ci: remote sweep survived a server restart with byte-identical tables"
+
 echo "ci: OK"

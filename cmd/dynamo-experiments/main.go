@@ -23,6 +23,11 @@
 // journal written next to the cache (-serve-grace keeps the endpoints up
 // after the sweep finishes, for a final scrape).
 //
+// A sweep can run remotely: -remote points at a dynamo-serve sweep
+// service, and every cache-missing simulation executes on the server
+// instead of locally. Results come back as the server's cache-entry
+// bytes, so the printed tables are byte-identical to a local run.
+//
 // A sweep is crash-safe: with -ckpt-every, running jobs periodically
 // checkpoint into the cache directory, and SIGINT/SIGTERM stop the sweep
 // gracefully (in-flight jobs checkpoint, finished results stay cached).
@@ -62,6 +67,7 @@ func main() {
 	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
 	resume := cliflags.Resume(flag.CommandLine)
 	retries := cliflags.Retries(flag.CommandLine)
+	remote := flag.String("remote", "", "run simulations on a dynamo-serve sweep service at this address instead of locally")
 	serve := cliflags.Serve(flag.CommandLine)
 	serveGrace := flag.Duration("serve-grace", 0, "with -serve, keep the telemetry endpoints up this long after the sweep finishes")
 	statsJSON := flag.String("stats-json", "", "write machine-readable sweep stats as JSON to this file")
@@ -119,6 +125,14 @@ func main() {
 		Resume:    *resume,
 		Interrupt: interrupt,
 		Log:       log.DebugWriter(),
+		Remote:    *remote,
+	}
+	if *remote != "" {
+		// The server owns the durable cache and the checkpoints; keeping a
+		// local result cache on top is allowed (-cache-dir), but local
+		// checkpointing of remote jobs is meaningless.
+		opts.CkptEvery, opts.Resume = 0, false
+		log.Infof("dynamo-experiments: running simulations on %s", *remote)
 	}
 
 	// Telemetry runs whenever something consumes it: the -serve endpoints

@@ -1,0 +1,106 @@
+// Command dynamo-serve hosts the sweep control plane: a long-running
+// HTTP/JSON service over the sweep runner that accepts whole sweeps,
+// schedules concurrent sweeps fairly on one worker pool, and serves
+// results out of the content-addressed cache.
+//
+// Usage:
+//
+//	dynamo-serve -cache-dir DIR [flags]
+//
+// Routes (see internal/service):
+//
+//	POST   /v1/sweeps               submit a sweep (JSON batch of requests)
+//	GET    /v1/sweeps/{id}          sweep status, retries and ETA
+//	DELETE /v1/sweeps/{id}          cancel a sweep
+//	GET    /v1/jobs/{digest}        cached result document (raw bytes)
+//	GET    /v1/jobs/{digest}/span   job trace span
+//	GET    /metrics /progress /jobs telemetry
+//
+// The cache directory is the service's durable state: results, job
+// checkpoints and accepted sweep documents all live there. SIGINT or
+// SIGTERM drains gracefully — in-flight jobs checkpoint (with
+// -ckpt-every) and stop, accepted sweeps stay persisted — and a restart
+// with -resume re-admits the unfinished work, restoring interrupted jobs
+// from their checkpoints, so clients polling across the restart see
+// their sweeps complete with byte-identical results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"dynamo/internal/cliflags"
+	"dynamo/internal/service"
+	"dynamo/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8322", "listen address (host:port; :0 picks a free port)")
+	cacheDir := cliflags.CacheDir(flag.CommandLine, cliflags.DefaultCacheDir)
+	jobs := cliflags.Jobs(flag.CommandLine)
+	retries := cliflags.Retries(flag.CommandLine)
+	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
+	resume := cliflags.Resume(flag.CommandLine)
+	verbose, quiet := cliflags.Verbosity(flag.CommandLine)
+	flag.Parse()
+
+	log := cliflags.NewLogger(*verbose, *quiet)
+	if *cacheDir == "" {
+		log.Fatal("dynamo-serve: -cache-dir is required (the cache is what the service serves)")
+	}
+	if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// The structured job journal lives next to the cache it describes; a
+	// journal failure degrades observability, never the service.
+	var topts telemetry.SweepOptions
+	if j, err := telemetry.OpenJournal(filepath.Join(*cacheDir, "journal.jsonl")); err == nil {
+		topts.Journal = j
+	} else {
+		log.Errorf("dynamo-serve: %v", err)
+	}
+	tel := telemetry.NewSweep(topts)
+	defer tel.Close()
+
+	svc, err := service.New(service.Options{
+		CacheDir:  *cacheDir,
+		Jobs:      *jobs,
+		Retries:   *retries,
+		CkptEvery: *ckptEvery,
+		Resume:    *resume,
+		Telemetry: tel,
+		Log:       log.DebugWriter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := service.Serve(*addr, svc)
+	if err != nil {
+		svc.Close()
+		log.Fatal(err)
+	}
+	// The bound address goes to stdout so scripts starting the server
+	// with :0 can read where it landed.
+	fmt.Printf("http://%s\n", srv.Addr())
+	log.Infof("dynamo-serve: serving sweeps on http://%s (cache %s)", srv.Addr(), *cacheDir)
+
+	signals := make(chan os.Signal, 1)
+	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)
+	<-signals
+	signal.Stop(signals)
+
+	// Graceful drain: stop accepting, interrupt in-flight jobs so they
+	// checkpoint, keep accepted sweeps persisted for -resume.
+	log.Infof("dynamo-serve: draining (in-flight jobs checkpoint, queue persists; restart with -resume)")
+	if err := srv.Close(); err != nil {
+		log.Errorf("dynamo-serve: %v", err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Errorf("dynamo-serve: %v", err)
+	}
+}

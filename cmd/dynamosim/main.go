@@ -137,6 +137,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Early, typed validation through the same wire request a sweep or the
+	// sweep service would carry: an unknown workload, policy or input
+	// fails here naming the bad field, before any machinery is built.
+	wireReq := dynamo.SweepRequest{
+		Workload:   *wl,
+		Policy:     *policy,
+		Input:      *input,
+		Threads:    *threads,
+		Seed:       *seed,
+		Scale:      *scale,
+		Check:      *checkOn,
+		ChaosSeed:  *chaosSeed,
+		ChaosLevel: *chaosLevel,
+	}
+	if err := wireReq.Validate(); err != nil {
+		log.Fatalf("dynamosim: %v", err)
+	}
+
 	cfg := dynamo.DefaultConfig()
 	cfg.Chi.PrefetchDegree = *prefetch
 	if *profileJSON != "" && *hotlines == 0 {

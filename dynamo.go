@@ -30,7 +30,6 @@ import (
 	"dynamo/internal/core"
 	"dynamo/internal/cpu"
 	"dynamo/internal/machine"
-	"dynamo/internal/memory"
 	"dynamo/internal/obs"
 	"dynamo/internal/obs/profile"
 	"dynamo/internal/perf"
@@ -276,30 +275,28 @@ func (o Options) fill() (Options, Config, error) {
 	return o, cfg, nil
 }
 
+// sessionFrom adapts a deprecated Options carrier into a Session, so the
+// deprecated entry points are genuine one-line Session delegates.
+func sessionFrom(opts Options) (*Session, error) {
+	filled, cfg, err := opts.fill()
+	if err != nil {
+		return nil, err
+	}
+	filled.Config = &cfg
+	return &Session{cfg: cfg, opts: filled}, nil
+}
+
 // Run executes one workload under one policy and returns its metrics. The
 // workload's functional result is validated unless SkipValidation is set.
 //
 // Deprecated: Use New(cfg, ...Option) and Session.Run; Run remains as a
-// thin wrapper and behaves identically.
+// one-line Session delegate and behaves identically.
 func Run(opts Options) (*Result, error) {
-	opts, cfg, err := opts.fill()
+	s, err := sessionFrom(opts)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := workload.Get(opts.Workload)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := spec.Build(workload.Params{
-		Threads: opts.Threads,
-		Seed:    opts.Seed,
-		Scale:   opts.Scale,
-		Input:   opts.Input,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return runInstance(cfg, inst, opts)
+	return s.Run(opts.Workload)
 }
 
 // RunCounter executes the Fig. 1 shared-counter microbenchmark: threads
@@ -307,17 +304,13 @@ func Run(opts Options) (*Result, error) {
 // (noReturn) or AtomicLoad semantics.
 //
 // Deprecated: Use New(cfg, WithPolicy(policy), WithThreads(threads)) and
-// Session.RunCounter; RunCounter remains as a thin wrapper.
+// Session.RunCounter; RunCounter remains as a one-line Session delegate.
 func RunCounter(policy string, threads, ops int, noReturn bool, cfg *Config) (*Result, error) {
-	opts, conf, err := Options{Policy: policy, Threads: threads, Config: cfg}.fill()
+	s, err := sessionFrom(Options{Policy: policy, Threads: threads, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	inst, err := workload.Counter(opts.Threads, ops, noReturn, 8)
-	if err != nil {
-		return nil, err
-	}
-	return runInstance(conf, inst, opts)
+	return s.RunCounter(ops, noReturn)
 }
 
 // attachChaos wires the fault injector selected by opts into a built
@@ -401,18 +394,12 @@ type Program = cpu.Program
 // (at most one per core) on a machine built from cfg and returns the
 // metrics plus a read function for inspecting final memory contents.
 //
-// Deprecated: Use New(cfg, ...Option) and Session.RunPrograms, which
-// additionally honours trace and observability attachments; RunPrograms
-// remains as a thin wrapper over the bare machine.
+// Deprecated: Use New(cfg, ...Option) and Session.RunPrograms;
+// RunPrograms remains as a one-line Session delegate.
 func RunPrograms(cfg Config, programs []Program) (*Result, func(addr uint64) uint64, error) {
-	m, err := machine.New(cfg)
+	s, err := sessionFrom(Options{Policy: cfg.Policy, Config: &cfg})
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := m.Run(programs)
-	if err != nil {
-		return nil, nil, err
-	}
-	read := func(addr uint64) uint64 { return m.Sys.Data.Load(memory.Addr(addr)) }
-	return res, read, nil
+	return s.RunPrograms(programs)
 }

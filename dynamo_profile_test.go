@@ -17,15 +17,10 @@ func TestNoProbeLeaksAcrossWorkloads(t *testing.T) {
 		wl := wl
 		t.Run(wl, func(t *testing.T) {
 			t.Parallel()
-			cfg := smallConfig()
 			bus := NewObs()
-			if _, err := Run(Options{
-				Workload: wl,
-				Threads:  4,
-				Scale:    0.05,
-				Config:   &cfg,
-				Obs:      bus,
-			}); err != nil {
+			s := newSession(t, smallConfig(),
+				WithThreads(4), WithScale(0.05), WithObs(bus))
+			if _, err := s.Run(wl); err != nil {
 				t.Fatal(err)
 			}
 			if leaks := bus.Leaks(); len(leaks) != 0 {
@@ -39,20 +34,13 @@ func TestNoProbeLeaksAcrossWorkloads(t *testing.T) {
 // JSON, interval telemetry CSV+JSON, and the regression snapshot.
 func profiledHistogramRun(t *testing.T) (profJSON, csv, seriesJSON, snapJSON []byte) {
 	t.Helper()
-	cfg := smallConfig()
 	bus := NewObs()
 	prof := NewProfiler(16)
 	rec := NewIntervalRecorder(5000, 0)
-	res, err := Run(Options{
-		Workload: "histogram",
-		Policy:   "dynamo-reuse-pn",
-		Threads:  4,
-		Scale:    0.1,
-		Config:   &cfg,
-		Obs:      bus,
-		Profile:  prof,
-		Interval: rec,
-	})
+	s := newSession(t, smallConfig(),
+		WithPolicy("dynamo-reuse-pn"), WithThreads(4), WithScale(0.1),
+		WithObs(bus), WithProfile(prof), WithInterval(rec))
+	res, err := s.Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,14 +121,9 @@ func TestProbeVocabulary(t *testing.T) {
 // TestProfileRequiresObs guards the facade invariant: a profiler without a
 // bus would silently record nothing.
 func TestProfileRequiresObs(t *testing.T) {
-	cfg := smallConfig()
-	_, err := Run(Options{
-		Workload: "histogram",
-		Threads:  4,
-		Scale:    0.1,
-		Config:   &cfg,
-		Profile:  NewProfiler(8),
-	})
+	s := newSession(t, smallConfig(),
+		WithThreads(4), WithScale(0.1), WithProfile(NewProfiler(8)))
+	_, err := s.Run("histogram")
 	if err == nil || !strings.Contains(err.Error(), "requires Options.Obs") {
 		t.Fatalf("err = %v", err)
 	}

@@ -23,6 +23,16 @@ func smallConfig() Config {
 	return cfg
 }
 
+// newSession builds a Session or fails the test.
+func newSession(t *testing.T, cfg Config, opts ...Option) *Session {
+	t.Helper()
+	s, err := New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestPoliciesAndWorkloadsListed(t *testing.T) {
 	if len(Policies()) != 8 {
 		t.Fatalf("Policies() = %v", Policies())
@@ -49,14 +59,9 @@ func TestDescribeWorkload(t *testing.T) {
 }
 
 func TestRunQuickstart(t *testing.T) {
-	cfg := smallConfig()
-	res, err := Run(Options{
-		Workload: "histogram",
-		Policy:   "dynamo-reuse-pn",
-		Threads:  4,
-		Scale:    0.1,
-		Config:   &cfg,
-	})
+	s := newSession(t, smallConfig(),
+		WithPolicy("dynamo-reuse-pn"), WithThreads(4), WithScale(0.1))
+	res, err := s.Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,8 +71,8 @@ func TestRunQuickstart(t *testing.T) {
 }
 
 func TestRunDefaultsPolicyAndSeed(t *testing.T) {
-	cfg := smallConfig()
-	res, err := Run(Options{Workload: "tc", Threads: 2, Scale: 0.1, Config: &cfg})
+	s := newSession(t, smallConfig(), WithThreads(2), WithScale(0.1))
+	res, err := s.Run("tc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,24 +83,25 @@ func TestRunDefaultsPolicyAndSeed(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cfg := smallConfig()
-	if _, err := Run(Options{Workload: "nope", Config: &cfg}); err == nil {
+	if _, err := newSession(t, cfg).Run("nope"); err == nil {
 		t.Error("unknown workload ran")
 	}
-	if _, err := Run(Options{Workload: "tc", Policy: "nope", Config: &cfg}); err == nil {
-		t.Error("unknown policy ran")
+	// Bad policy and thread counts fail eagerly, at Session construction.
+	if _, err := New(cfg, WithPolicy("nope")); err == nil {
+		t.Error("unknown policy accepted")
 	}
-	if _, err := Run(Options{Workload: "tc", Threads: 99, Config: &cfg}); err == nil {
-		t.Error("too many threads ran")
+	if _, err := New(cfg, WithThreads(99)); err == nil {
+		t.Error("too many threads accepted")
 	}
-	if _, err := Run(Options{Workload: "spmv", Input: "nope", Threads: 2, Config: &cfg}); err == nil {
+	if _, err := newSession(t, cfg, WithThreads(2), WithInput("nope")).Run("spmv"); err == nil {
 		t.Error("unknown input ran")
 	}
 }
 
 func TestRunCounterBothSemantics(t *testing.T) {
-	cfg := smallConfig()
+	s := newSession(t, smallConfig(), WithPolicy("unique-near"), WithThreads(4))
 	for _, noReturn := range []bool{false, true} {
-		res, err := RunCounter("unique-near", 4, 30, noReturn, &cfg)
+		res, err := s.RunCounter(30, noReturn)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,12 +118,10 @@ func TestRunCounterBothSemantics(t *testing.T) {
 }
 
 func TestRunWithTrace(t *testing.T) {
-	cfg := smallConfig()
 	var buf bytes.Buffer
 	w := trace.NewWriter(&buf)
-	if _, err := Run(Options{
-		Workload: "tc", Threads: 2, Scale: 0.1, Config: &cfg, Trace: w,
-	}); err != nil {
+	s := newSession(t, smallConfig(), WithThreads(2), WithScale(0.1), WithTrace(w))
+	if _, err := s.Run("tc"); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -141,7 +145,6 @@ func TestRunWithTrace(t *testing.T) {
 }
 
 func TestRunProgramsCustomWorkload(t *testing.T) {
-	cfg := smallConfig()
 	const counter = 0x4000
 	prog := func(th *Thread) {
 		for i := 0; i < 50; i++ {
@@ -149,7 +152,8 @@ func TestRunProgramsCustomWorkload(t *testing.T) {
 		}
 		th.Fence()
 	}
-	res, read, err := RunPrograms(cfg, []Program{prog, prog})
+	s := newSession(t, smallConfig())
+	res, read, err := s.RunPrograms([]Program{prog, prog})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,12 +166,11 @@ func TestRunProgramsCustomWorkload(t *testing.T) {
 }
 
 func TestValidationFailureSurfaces(t *testing.T) {
-	// SkipValidation must be the only way to bypass the functional check;
-	// with it set, runs still succeed.
-	cfg := smallConfig()
-	if _, err := Run(Options{
-		Workload: "radixsort", Threads: 4, Scale: 0.1, Config: &cfg, SkipValidation: true,
-	}); err != nil {
+	// WithoutValidation must be the only way to bypass the functional
+	// check; with it set, runs still succeed.
+	s := newSession(t, smallConfig(),
+		WithThreads(4), WithScale(0.1), WithoutValidation())
+	if _, err := s.Run("radixsort"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -180,37 +183,36 @@ func TestPolicyDirectionsEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-machine comparison")
 	}
+	counter := func(policy string, threads int) *Result {
+		t.Helper()
+		res, err := newSession(t, DefaultConfig(),
+			WithPolicy(policy), WithThreads(threads)).RunCounter(150, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
 	// Contended counter at 32 threads: far beats near.
-	near, err := RunCounter("all-near", 32, 150, true, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	far, err := RunCounter("unique-near", 32, 150, true, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	near := counter("all-near", 32)
+	far := counter("unique-near", 32)
 	if far.Cycles >= near.Cycles {
 		t.Errorf("contended: far %d cycles >= near %d", far.Cycles, near.Cycles)
 	}
 	// Single thread: near beats far.
-	near1, err := RunCounter("all-near", 1, 150, true, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	far1, err := RunCounter("unique-near", 1, 150, true, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	near1 := counter("all-near", 1)
+	far1 := counter("unique-near", 1)
 	if near1.Cycles >= far1.Cycles {
 		t.Errorf("single thread: near %d cycles >= far %d", near1.Cycles, far1.Cycles)
 	}
 	// DynAMO on a far-friendly workload: at least 85%% of the best and
 	// better than the baseline.
-	base, err := Run(Options{Workload: "histogram", Threads: 16, Scale: 0.25})
+	base, err := newSession(t, DefaultConfig(),
+		WithThreads(16), WithScale(0.25)).Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}
-	dyn, err := Run(Options{Workload: "histogram", Policy: "dynamo-reuse-pn", Threads: 16, Scale: 0.25})
+	dyn, err := newSession(t, DefaultConfig(),
+		WithPolicy("dynamo-reuse-pn"), WithThreads(16), WithScale(0.25)).Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,12 +225,10 @@ func TestPolicyDirectionsEndToEnd(t *testing.T) {
 // timeline bytes and the rendered report tables.
 func observedHistogramRun(t *testing.T) ([]byte, string) {
 	t.Helper()
-	cfg := smallConfig()
 	bus := NewObs(WithTimeline())
-	res, err := Run(Options{
-		Workload: "histogram", Policy: "dynamo-reuse-pn",
-		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,
-	})
+	s := newSession(t, smallConfig(),
+		WithPolicy("dynamo-reuse-pn"), WithThreads(4), WithScale(0.1), WithObs(bus))
+	res, err := s.Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,12 +271,10 @@ func TestObservedRunIsDeterministic(t *testing.T) {
 }
 
 func TestResultJSONRoundTrip(t *testing.T) {
-	cfg := smallConfig()
 	bus := NewObs()
-	res, err := Run(Options{
-		Workload: "histogram", Policy: "all-near",
-		Threads: 4, Scale: 0.1, Config: &cfg, Obs: bus,
-	})
+	s := newSession(t, smallConfig(),
+		WithPolicy("all-near"), WithThreads(4), WithScale(0.1), WithObs(bus))
+	res, err := s.Run("histogram")
 	if err != nil {
 		t.Fatal(err)
 	}

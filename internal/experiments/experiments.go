@@ -19,6 +19,7 @@ import (
 
 	"dynamo/internal/machine"
 	"dynamo/internal/runner"
+	"dynamo/internal/service"
 	"dynamo/internal/stats"
 	"dynamo/internal/telemetry"
 	"dynamo/internal/workload"
@@ -54,6 +55,12 @@ type Options struct {
 	// Telemetry, when non-nil, receives sweep metrics and per-job trace
 	// spans (see internal/telemetry); results are unaffected.
 	Telemetry *telemetry.Sweep
+	// Remote, when non-empty, routes job execution to a sweep service at
+	// this address (see internal/service): the local runner keeps its
+	// dedupe, cache and telemetry semantics, but every cache-missing
+	// simulation runs on the server and comes back as the server's
+	// cache-entry bytes, so the tables are byte-identical to a local run.
+	Remote string
 }
 
 func (o Options) fill() Options {
@@ -93,7 +100,7 @@ type runKey struct {
 // NewSuite builds a suite.
 func NewSuite(o Options) *Suite {
 	o = o.fill()
-	return &Suite{opts: o, r: runner.New(runner.Options{
+	ro := runner.Options{
 		Jobs:      o.Workers,
 		CacheDir:  o.CacheDir,
 		Log:       o.Log,
@@ -102,7 +109,11 @@ func NewSuite(o Options) *Suite {
 		Resume:    o.Resume,
 		Interrupt: o.Interrupt,
 		Telemetry: o.Telemetry,
-	})}
+	}
+	if o.Remote != "" {
+		ro.Execute = service.Dial(o.Remote).Execute
+	}
+	return &Suite{opts: o, r: runner.New(ro)}
 }
 
 // Opts returns the effective options.
@@ -119,13 +130,13 @@ func sysVariant(name string, cfg *machine.Config) error {
 // request expands a suite run key into a full runner request.
 func (s *Suite) request(key runKey) runner.Request {
 	return runner.Request{
-		Workload:   key.workload,
-		Policy:     key.policy,
-		Input:      key.input,
-		Threads:    key.threads,
-		Seed:       s.opts.Seed,
-		Scale:      s.opts.Scale,
-		SysVariant: key.sysVariant,
+		Workload: key.workload,
+		Policy:   key.policy,
+		Input:    key.input,
+		Threads:  key.threads,
+		Seed:     s.opts.Seed,
+		Scale:    s.opts.Scale,
+		Variant:  key.sysVariant,
 	}
 }
 

@@ -31,6 +31,23 @@ type entry struct {
 	Hot       *profile.HotReport `json:"hot,omitempty"`
 }
 
+// DecodeEntry decodes one persisted cache document — the exact bytes of
+// <cacheDir>/<digest>.json, which is also what the sweep service's
+// /v1/jobs/{digest} endpoint serves — back into an outcome plus the
+// wall-clock the original simulation took. The remote client rebuilds
+// local outcomes through it, so a served result and a locally cached one
+// are the same bytes decoded the same way.
+func DecodeEntry(data []byte) (*Outcome, time.Duration, error) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, 0, fmt.Errorf("runner: decoding cache entry: %w", err)
+	}
+	if e.Schema != entrySchema || e.Result == nil {
+		return nil, 0, fmt.Errorf("runner: cache entry schema %d unusable (want %d)", e.Schema, entrySchema)
+	}
+	return &Outcome{Result: e.Result, Hot: e.Hot, Cached: true}, time.Duration(e.ElapsedNS), nil
+}
+
 // store is the persistent result cache. A nil store (no cache directory)
 // never hits and never writes.
 type store struct {

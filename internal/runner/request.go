@@ -29,13 +29,19 @@ import (
 // then invalidated at once, because digests stop matching.
 const ConfigSchema = 1
 
+// WireSchema versions the Request JSON wire format served and accepted by
+// the sweep service. It is distinct from ConfigSchema: the wire schema
+// names the shape of the request document, the config schema names what a
+// digest means. Bump it when a field is renamed or its meaning changes.
+const WireSchema = 1
+
 // CounterSpec selects the Fig. 1 shared-counter microbenchmark instead of
 // a registry workload: Threads threads each performing Ops atomic
 // increments over Cells counters, with AtomicStore (NoReturn) or
 // AtomicLoad semantics.
 type CounterSpec struct {
 	Ops      int  `json:"ops"`
-	NoReturn bool `json:"no_return"`
+	NoReturn bool `json:"no_return,omitempty"`
 	// Cells is the number of shared counters (the Fig. 1 gap).
 	Cells int `json:"cells"`
 }
@@ -45,40 +51,53 @@ type CounterSpec struct {
 // parameters, and which reports to collect. Requests with equal
 // canonical digests are the same job and share one result.
 //
+// Request is the single request type everywhere a run is named: the
+// public dynamo.SweepRequest is an alias of it, CLI flags populate it,
+// and the sweep service accepts it verbatim as the HTTP body — there is
+// no parallel wire DTO. Its JSON field names are the stable lowercase
+// keys of the canonical digest metadata (see meta), versioned by the
+// schema field; Validate rejects a malformed document with typed field
+// errors before anything is enqueued.
+//
 // All requests execute on the default Table II system, optionally mutated
-// by SysVariant — the configuration is part of the digest via the variant
+// by Variant — the configuration is part of the digest via the variant
 // name and ConfigSchema, never an arbitrary struct.
 type Request struct {
+	// Schema is the wire-format version (see WireSchema). Zero means "the
+	// current schema" so hand-written requests stay terse; any other value
+	// that is not WireSchema fails Validate. Schema is transport metadata,
+	// not run identity: it never enters the digest.
+	Schema int `json:"schema,omitempty"`
 	// Workload is a registry workload name (empty when Counter is set).
-	Workload string
+	Workload string `json:"workload,omitempty"`
 	// Policy is a registered policy name ("" selects "all-near").
-	Policy string
+	Policy string `json:"policy,omitempty"`
 	// Input selects a workload input variant ("" = default).
-	Input   string
-	Threads int
-	Seed    int64
-	Scale   float64
-	// SysVariant names a non-default system configuration (see
+	Input   string  `json:"input,omitempty"`
+	Threads int     `json:"threads,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	Scale   float64 `json:"scale,omitempty"`
+	// Variant names a non-default system configuration (see
 	// ApplyVariant); "" and "base" are the default system.
-	SysVariant string
+	Variant string `json:"variant,omitempty"`
 	// DSE selects an unregistered Section IV design-space candidate by
 	// its decision string (see core.DecisionString); overrides Policy.
-	DSE string
+	DSE string `json:"dse,omitempty"`
 	// Counter selects the Fig. 1 microbenchmark instead of Workload.
-	Counter *CounterSpec
+	Counter *CounterSpec `json:"counter,omitempty"`
 	// Observe collects the observability report into the result's Obs.
-	Observe bool
+	Observe bool `json:"observe,omitempty"`
 	// ProfileTopK, when positive, attaches the contention profiler and
 	// collects the top-K hot-line report (implies an observability bus).
-	ProfileTopK int
+	ProfileTopK int `json:"profile-topk,omitempty"`
 	// Check attaches the protocol invariant sanitizer (default bounds);
 	// a clean run reports its audit counters in the result's Check.
-	Check bool
+	Check bool `json:"check,omitempty"`
 	// ChaosSeed / ChaosLevel attach the deterministic fault injector.
 	// A non-zero seed with a zero level runs at level 1; a non-zero level
 	// with a zero seed runs seed 1. Both zero leave the run unperturbed.
-	ChaosSeed  int64
-	ChaosLevel int
+	ChaosSeed  int64 `json:"chaos-seed,omitempty"`
+	ChaosLevel int   `json:"chaos-level,omitempty"`
 }
 
 // normalize fills defaults so equal effective requests share a digest.
@@ -95,8 +114,8 @@ func (q Request) normalize() Request {
 	if q.Scale == 0 {
 		q.Scale = 1
 	}
-	if q.SysVariant == "base" {
-		q.SysVariant = ""
+	if q.Variant == "base" {
+		q.Variant = ""
 	}
 	if q.ChaosSeed != 0 && q.ChaosLevel == 0 {
 		q.ChaosLevel = 1
@@ -118,7 +137,7 @@ func (q Request) meta() map[string]string {
 		"threads":  strconv.Itoa(q.Threads),
 		"seed":     strconv.FormatInt(q.Seed, 10),
 		"scale":    strconv.FormatFloat(q.Scale, 'g', -1, 64),
-		"variant":  q.SysVariant,
+		"variant":  q.Variant,
 	}
 	if q.DSE != "" {
 		m["dse"] = q.DSE
@@ -163,8 +182,8 @@ func (q Request) String() string {
 	if q.Input != "" {
 		s += "(" + q.Input + ")"
 	}
-	if q.SysVariant != "" && q.SysVariant != "base" {
-		s += "@" + q.SysVariant
+	if q.Variant != "" && q.Variant != "base" {
+		s += "@" + q.Variant
 	}
 	if q.Check {
 		s += "+check"
@@ -254,7 +273,7 @@ type execCtx struct {
 // jobs run concurrently.
 func execute(q Request, x execCtx) (*Outcome, error) {
 	cfg := machine.DefaultConfig()
-	if err := ApplyVariant(q.SysVariant, &cfg); err != nil {
+	if err := ApplyVariant(q.Variant, &cfg); err != nil {
 		return nil, err
 	}
 	if q.Check {

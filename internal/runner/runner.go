@@ -56,6 +56,13 @@ type Options struct {
 	// the runner's lifetime; a journal-less Telemetry surface is created
 	// automatically when none was supplied. See Runner.TelemetryAddr.
 	ServeAddr string
+	// Execute, when non-nil, replaces local simulation: a cache-missing
+	// job calls it instead of building a machine in this process. The
+	// remote client mode routes jobs to a sweep server through it while
+	// keeping the pool, dedupe, retry, telemetry and stats semantics.
+	// Checkpoint capture and resume are skipped — whoever executes owns
+	// them.
+	Execute func(Request) (*Outcome, error)
 }
 
 // Outcome is a completed job's reports.
@@ -129,13 +136,16 @@ var executeFn = execute
 // safeExecute runs one job, converting a panic anywhere in the simulator
 // into an ErrJobPanicked with the recovered value and stack: one corrupt
 // job must not take down a thousand-job sweep.
-func safeExecute(q Request, x execCtx) (out *Outcome, err error) {
+func (r *Runner) safeExecute(q Request, x execCtx) (out *Outcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out = nil
 			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, rec, debug.Stack())
 		}
 	}()
+	if r.opts.Execute != nil {
+		return r.opts.Execute(q)
+	}
 	return executeFn(q, x)
 }
 
@@ -146,6 +156,10 @@ type Task struct {
 	out  *Outcome
 	err  error
 	jt   *telemetry.Job // nil unless telemetry is enabled
+	// interrupt, when non-nil, cancels just this task (see
+	// SubmitInterruptible); the runner-wide Options.Interrupt still
+	// applies on top.
+	interrupt <-chan struct{}
 }
 
 // Wait blocks until the job completes and returns its outcome.
@@ -238,19 +252,32 @@ func (r *Runner) Close() error {
 // Submit enqueues a request and returns its task, coalescing duplicates:
 // submitting a request whose digest is already known returns the existing
 // task (a memory hit) without spawning work.
-func (r *Runner) Submit(req Request) *Task {
+func (r *Runner) Submit(req Request) *Task { return r.submit(req, nil) }
+
+// SubmitInterruptible enqueues a request with its own interrupt channel:
+// closing it cancels just this job — aborted in queue, or stopped
+// mid-run with machine.ErrInterrupted (after a final checkpoint, when
+// checkpointing is on) — without touching the rest of the pool. The
+// runner-wide Options.Interrupt still applies on top. The sweep service
+// uses this for per-sweep cancellation. Dedupe is unchanged: a duplicate
+// submission returns the existing task with its original wiring.
+func (r *Runner) SubmitInterruptible(req Request, interrupt <-chan struct{}) *Task {
+	return r.submit(req, interrupt)
+}
+
+func (r *Runner) submit(req Request, interrupt <-chan struct{}) *Task {
 	req = req.normalize()
 	digest := req.Digest()
 	r.tel.Submitted()
 	r.mu.Lock()
 	r.stats.Requests++
-	if t, ok := r.tasks[digest]; ok {
+	if t, ok := r.tasks[digest]; ok && !replayable(t) {
 		r.stats.Hits++
 		r.mu.Unlock()
 		r.tel.JobDeduped()
 		return t
 	}
-	t := &Task{req: req, done: make(chan struct{})}
+	t := &Task{req: req, done: make(chan struct{}), interrupt: interrupt}
 	if r.tel.Enabled() {
 		// Guarded so the request never renders when telemetry is off.
 		t.jt = r.tel.StartJob(digest, req.String())
@@ -262,6 +289,21 @@ func (r *Runner) Submit(req Request) *Task {
 	r.tel.JobQueued()
 	go r.run(t)
 	return t
+}
+
+// replayable reports whether a memoized task's answer is no answer at
+// all: a job that terminated with machine.ErrInterrupted was cancelled,
+// not computed, so a later submission of the same request replaces it
+// with a fresh task instead of replaying the cancellation. A long-running
+// sweep service depends on this — cancelling one sweep must not poison
+// the same request for every future sweep.
+func replayable(t *Task) bool {
+	select {
+	case <-t.done:
+		return errors.Is(t.err, machine.ErrInterrupted)
+	default:
+		return false
+	}
 }
 
 // Run submits a request and waits for its outcome.
@@ -328,9 +370,9 @@ func (r *Runner) backoff(attempt int) time.Duration {
 	return base << (attempt - 1)
 }
 
-// sleep pauses for d, returning false early if the sweep is interrupted.
-func (r *Runner) sleep(d time.Duration) bool {
-	if r.opts.Interrupt == nil {
+// sleep pauses for d, returning false early if intr fires.
+func sleep(d time.Duration, intr <-chan struct{}) bool {
+	if intr == nil {
 		time.Sleep(d)
 		return true
 	}
@@ -339,22 +381,47 @@ func (r *Runner) sleep(d time.Duration) bool {
 	select {
 	case <-timer.C:
 		return true
-	case <-r.opts.Interrupt:
+	case <-intr:
 		return false
 	}
 }
 
-// interruptedNow polls the interrupt channel without blocking.
-func (r *Runner) interruptedNow() bool {
-	if r.opts.Interrupt == nil {
+// interruptedNow polls an interrupt channel without blocking.
+func interruptedNow(intr <-chan struct{}) bool {
+	if intr == nil {
 		return false
 	}
 	select {
-	case <-r.opts.Interrupt:
+	case <-intr:
 		return true
 	default:
 		return false
 	}
+}
+
+// mergeInterrupt combines the runner-wide and per-task interrupt
+// channels into the single channel the machine polls. With one (or no)
+// source there is nothing to merge; with both, a goroutine closes the
+// merged channel as soon as either fires and exits when done closes (the
+// task finished first).
+func mergeInterrupt(a, b, done <-chan struct{}) <-chan struct{} {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	m := make(chan struct{})
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		case <-done:
+			return
+		}
+		close(m)
+	}()
+	return m
 }
 
 func (r *Runner) run(t *Task) {
@@ -382,8 +449,9 @@ func (r *Runner) run(t *Task) {
 	}
 
 	digest := t.req.Digest()
-	x := execCtx{interrupt: r.opts.Interrupt}
-	if r.store != nil {
+	intr := mergeInterrupt(r.opts.Interrupt, t.interrupt, t.done)
+	x := execCtx{interrupt: intr}
+	if r.store != nil && r.opts.Execute == nil {
 		x.identity = digest
 		if r.opts.CkptEvery > 0 {
 			x.ckptEvery = r.opts.CkptEvery
@@ -421,9 +489,10 @@ func (r *Runner) run(t *Task) {
 	}
 
 	r.sem <- struct{}{}
-	if r.interruptedNow() {
-		// The sweep was cancelled while this job sat in the queue; its
-		// persisted checkpoint (if any) stays put for the next resume.
+	if interruptedNow(intr) {
+		// The sweep (or this job's own sweep) was cancelled while it sat
+		// in the queue; its persisted checkpoint (if any) stays put for
+		// the next resume.
 		<-r.sem
 		r.finishInterrupted(t, true)
 		return
@@ -436,7 +505,7 @@ func (r *Runner) run(t *Task) {
 	for {
 		attempts++
 		t.jt.AttemptStart()
-		out, runErr = safeExecute(t.req, x)
+		out, runErr = r.safeExecute(t.req, x)
 		t.jt.AttemptEnd(runErr)
 		if runErr == nil {
 			break
@@ -463,7 +532,7 @@ func (r *Runner) run(t *Task) {
 		r.tel.Retry()
 		r.logf(t, "retrying %s in %s (attempt %d of %d): %v",
 			t.req, delay, attempts+1, r.opts.Retries+1, runErr)
-		if !r.sleep(delay) {
+		if !sleep(delay, intr) {
 			runErr = fmt.Errorf("%w (retry abandoned after: %v)", machine.ErrInterrupted, runErr)
 			break
 		}

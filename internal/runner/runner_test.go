@@ -21,7 +21,7 @@ func TestDigestNormalization(t *testing.T) {
 		t.Error("defaulted request and explicit request have different digests")
 	}
 	base := full
-	base.SysVariant = "base"
+	base.Variant = "base"
 	if base.Digest() != full.Digest() {
 		t.Error(`variant "base" not aliased to the default system`)
 	}

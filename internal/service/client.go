@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/runner"
+	"dynamo/internal/workload"
+)
+
+// Client talks to a sweep service. The zero-value fields of Dial's result
+// are tuned for a local server; all are exported for overriding.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Retries bounds transport-error retries per call — a server
+	// mid-restart is retried (refused, reset or dropped connections),
+	// any other failure is not. Backoff is the first retry's delay,
+	// doubling per retry.
+	Retries int
+	Backoff time.Duration
+	// Poll is the status-poll interval for Wait and Execute.
+	Poll time.Duration
+}
+
+// Dial builds a client for addr ("host:port", scheme optional).
+func Dial(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		Base:    strings.TrimRight(addr, "/"),
+		Retries: 5,
+		Backoff: 100 * time.Millisecond,
+		Poll:    25 * time.Millisecond,
+	}
+}
+
+// retryable reports whether a transport error is worth retrying: the
+// signatures of a server that is still binding, restarting, or shutting
+// down under the caller (refused, reset, or a keep-alive connection the
+// server closed as the request was written). Every endpoint is
+// idempotent — submissions dedupe by content digest — so re-sending a
+// request whose fate is unknown is safe.
+func retryable(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// kindErr maps a WireError.Kind back to its sentinel, so client-side
+// errors.Is works across the wire: a rejected workload name matches
+// workload.ErrUnknown whether validation ran locally or remotely.
+func kindErr(kind string) error {
+	switch kind {
+	case "unknown-workload":
+		return workload.ErrUnknown
+	case "unknown-policy":
+		return core.ErrUnknownPolicy
+	case "schema":
+		return runner.ErrWireSchema
+	case "bad-field":
+		return runner.ErrBadField
+	case "not-found":
+		return ErrNotFound
+	case "draining":
+		return ErrDraining
+	}
+	return nil
+}
+
+// do performs one call. When out is a *[]byte the raw body is returned;
+// otherwise the body is decoded into out (nil discards it).
+func (c *Client) do(method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("service: encoding %s %s: %w", method, path, err)
+		}
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, c.Base+path, bytes.NewReader(payload))
+		if err != nil {
+			return fmt.Errorf("service: %s %s: %w", method, path, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = hc.Do(req)
+		if err == nil {
+			break
+		}
+		if attempt >= c.Retries || !retryable(err) {
+			return fmt.Errorf("service: %s %s: %w", method, path, err)
+		}
+		time.Sleep(c.Backoff << attempt)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("service: reading %s %s: %w", method, path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error.Message != "" {
+			if base := kindErr(eb.Error.Kind); base != nil {
+				return fmt.Errorf("service: http %d: %s: %w", resp.StatusCode, eb.Error.Message, base)
+			}
+			return fmt.Errorf("service: http %d: %s", resp.StatusCode, eb.Error.Message)
+		}
+		return fmt.Errorf("service: %s %s: http %d", method, path, resp.StatusCode)
+	}
+	switch out := out.(type) {
+	case nil:
+		return nil
+	case *[]byte:
+		*out = data
+		return nil
+	default:
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("service: decoding %s %s: %w", method, path, err)
+		}
+		return nil
+	}
+}
+
+// Submit sends one sweep and returns its initial status.
+func (c *Client) Submit(reqs ...runner.Request) (*SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(http.MethodPost, "/v1/sweeps",
+		SubmitRequest{Schema: runner.WireSchema, Requests: reqs}, &st)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a sweep's current standing.
+func (c *Client) Status(id string) (*SweepStatus, error) {
+	var st SweepStatus
+	if err := c.do(http.MethodGet, "/v1/sweeps/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel cancels a sweep (idempotent) and returns its status.
+func (c *Client) Cancel(id string) (*SweepStatus, error) {
+	var st SweepStatus
+	if err := c.do(http.MethodDelete, "/v1/sweeps/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls a sweep until it reaches a terminal state.
+func (c *Client) Wait(id string) (*SweepStatus, error) {
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		poll := c.Poll
+		if poll <= 0 {
+			poll = 25 * time.Millisecond
+		}
+		time.Sleep(poll)
+	}
+}
+
+// ResultBytes fetches a finished job's raw cache document — the exact
+// bytes of the server-side <cacheDir>/<digest>.json.
+func (c *Client) ResultBytes(digest string) ([]byte, error) {
+	var data []byte
+	if err := c.do(http.MethodGet, "/v1/jobs/"+digest, nil, &data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Span fetches a finished job's trace span.
+func (c *Client) Span(digest string) (*Span, error) {
+	var sp Span
+	if err := c.do(http.MethodGet, "/v1/jobs/"+digest+"/span", nil, &sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// Execute runs one request remotely and blocks for its outcome. It is
+// shaped to plug into runner.Options.Execute, so a local runner keeps
+// its pool, dedupe, stats and telemetry semantics while every actual
+// simulation happens on the server.
+func (c *Client) Execute(q runner.Request) (*runner.Outcome, error) {
+	st, err := c.Submit(q)
+	if err != nil {
+		return nil, err
+	}
+	if st, err = c.Wait(st.ID); err != nil {
+		return nil, err
+	}
+	if len(st.Jobs) != 1 {
+		return nil, fmt.Errorf("service: sweep %s: expected 1 job, got %d", st.ID, len(st.Jobs))
+	}
+	j := st.Jobs[0]
+	switch j.State {
+	case JobDone:
+		data, err := c.ResultBytes(j.Digest)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := runner.DecodeEntry(data)
+		return out, err
+	case JobFailed:
+		return nil, fmt.Errorf("service: remote job %s failed: %s", j.Digest, j.Error)
+	case JobCancelled:
+		return nil, fmt.Errorf("service: remote job %s: %w", j.Digest, machine.ErrInterrupted)
+	}
+	return nil, fmt.Errorf("service: job %s ended in state %q", j.Digest, j.State)
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/runner"
+	"dynamo/internal/telemetry"
+	"dynamo/internal/workload"
+)
+
+// maxBody bounds a submission body; a sweep of tens of thousands of
+// requests still fits comfortably.
+const maxBody = 16 << 20
+
+// Server is the HTTP front end over one Service: the /v1 control plane
+// plus the telemetry endpoints, on one listener.
+type Server struct {
+	svc  *Service
+	ln   net.Listener
+	http *http.Server
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves svc
+// until Close. Listen errors surface here.
+func Serve(addr string, svc *Service) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: listening on %s: %w", addr, err)
+	}
+	srv := &Server{svc: svc, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", srv.postSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", srv.getSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", srv.deleteSweep)
+	mux.HandleFunc("GET /v1/jobs/{digest}", srv.getJob)
+	mux.HandleFunc("GET /v1/jobs/{digest}/span", srv.getJobSpan)
+	telemetry.Mount(mux, svc.Telemetry())
+	mux.HandleFunc("/", srv.index)
+	srv.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.http.Serve(ln)
+	return srv, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting requests and waits briefly for in-flight ones.
+// It does not drain the service — call Service.Drain (or Close) for that.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+// kindOf classifies an error into the stable WireError.Kind vocabulary.
+func kindOf(err error) string {
+	switch {
+	case errors.Is(err, workload.ErrUnknown):
+		return "unknown-workload"
+	case errors.Is(err, core.ErrUnknownPolicy):
+		return "unknown-policy"
+	case errors.Is(err, runner.ErrWireSchema):
+		return "schema"
+	case errors.Is(err, runner.ErrBadField):
+		return "bad-field"
+	case errors.Is(err, ErrNotFound):
+		return "not-found"
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	default:
+		return "bad-request"
+	}
+}
+
+// statusOf maps an error kind to its HTTP status.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeError renders err as the structured {"error": ...} envelope.
+func writeError(w http.ResponseWriter, err error) {
+	we := WireError{Message: err.Error(), Kind: kindOf(err)}
+	var fe *runner.FieldError
+	if errors.As(err, &fe) {
+		we.Field, we.Value = fe.Field, fe.Value
+	}
+	writeJSON(w, statusOf(err), ErrorBody{Error: we})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) postSweeps(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: decoding sweep body: %w", err))
+		return
+	}
+	if req.Schema != 0 && req.Schema != runner.WireSchema {
+		writeError(w, &runner.FieldError{
+			Field: "schema", Value: fmt.Sprint(req.Schema),
+			Err: fmt.Errorf("%w: this build speaks schema %d", runner.ErrWireSchema, runner.WireSchema),
+		})
+		return
+	}
+	st, err := s.svc.Submit(req.Requests)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) getSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) deleteSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	data, err := s.svc.Result(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// The raw cache document, byte-for-byte: remote results are the same
+	// bytes a local sweep would have on disk.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) getJobSpan(w http.ResponseWriter, r *http.Request) {
+	span, err := s.svc.SpanOf(r.PathValue("digest"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, span)
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeError(w, fmt.Errorf("%w: %s", ErrNotFound, r.URL.Path))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `dynamo sweep service
+
+POST   /v1/sweeps               submit a sweep (JSON batch of requests)
+GET    /v1/sweeps/{id}          sweep status
+DELETE /v1/sweeps/{id}          cancel a sweep
+GET    /v1/jobs/{digest}        cached result document
+GET    /v1/jobs/{digest}/span   job trace span
+GET    /metrics /progress /jobs telemetry
+`)
+}

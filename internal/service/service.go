@@ -1,0 +1,595 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dynamo/internal/machine"
+	"dynamo/internal/runner"
+	"dynamo/internal/telemetry"
+)
+
+// ErrNotFound marks a sweep id or job digest the service does not know.
+var ErrNotFound = errors.New("service: not found")
+
+// ErrDraining rejects submissions while the service is shutting down.
+var ErrDraining = errors.New("service: draining, not accepting sweeps")
+
+// ErrEmptySweep rejects a submission with no requests.
+var ErrEmptySweep = errors.New("service: a sweep needs at least one request")
+
+// Options configures a Service.
+type Options struct {
+	// CacheDir is the content-addressed result store the service serves
+	// from and persists sweeps under (required: a service without a cache
+	// has nothing durable to serve).
+	CacheDir string
+	// Jobs bounds concurrently executing simulations (default GOMAXPROCS).
+	Jobs int
+	// Retries, CkptEvery: see runner.Options.
+	Retries   int
+	CkptEvery uint64
+	// Resume reloads persisted sweeps from CacheDir/sweeps and restores
+	// interrupted jobs from their checkpoints.
+	Resume bool
+	// Telemetry, when non-nil, is the caller's surface; otherwise the
+	// service creates (and closes) a journal-less one.
+	Telemetry *telemetry.Sweep
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// job is one distinct request inside a sweep. Requests in a batch that
+// normalize to the same digest share one job.
+type job struct {
+	req    runner.Request
+	digest string
+	state  string
+	cached bool
+	errMsg string
+}
+
+// sweepState is one submitted sweep: its distinct jobs in admission
+// order, plus one entry per submitted request (aliasing into jobs).
+type sweepState struct {
+	id        string
+	jobs      []*job
+	entries   []*job
+	next      int // admission cursor into jobs
+	cancelled bool
+}
+
+// jobCtl is the per-digest cancellation control for in-flight jobs:
+// every sweep currently running this digest holds an owner reference,
+// and the interrupt channel closes only when the last owner cancels (or
+// the service drains). The runner dedupes concurrent submissions of one
+// digest into one task, so sharing the channel per digest matches what
+// actually executes.
+type jobCtl struct {
+	ch     chan struct{}
+	owners map[string]int
+	closed bool
+}
+
+// Service is the sweep control plane over one runner. See the package
+// comment for the wire API; Serve attaches the HTTP front end.
+type Service struct {
+	opts   Options
+	r      *runner.Runner
+	tel    *telemetry.Sweep
+	ownTel bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sweeps   map[string]*sweepState
+	order    []string // sweep ids in submission order (round-robin ring)
+	rr       int      // round-robin cursor into order
+	ctl      map[string]*jobCtl
+	inflight int
+	draining bool
+	seq      int
+	wg       sync.WaitGroup
+}
+
+// New builds a service, reloading persisted sweeps when Options.Resume is
+// set, and starts its admission dispatcher.
+func New(o Options) (*Service, error) {
+	if o.CacheDir == "" {
+		return nil, errors.New("service: a cache directory is required")
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = runtime.GOMAXPROCS(0)
+	}
+	tel := o.Telemetry
+	ownTel := false
+	if tel == nil {
+		tel = telemetry.NewSweep(telemetry.SweepOptions{})
+		ownTel = true
+	}
+	s := &Service{
+		opts:   o,
+		tel:    tel,
+		ownTel: ownTel,
+		sweeps: make(map[string]*sweepState),
+		ctl:    make(map[string]*jobCtl),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.r = runner.New(runner.Options{
+		Jobs:      o.Jobs,
+		CacheDir:  o.CacheDir,
+		Log:       o.Log,
+		Retries:   o.Retries,
+		CkptEvery: o.CkptEvery,
+		Resume:    o.Resume,
+		Telemetry: tel,
+	})
+	if o.Resume {
+		if err := s.reload(); err != nil {
+			return nil, err
+		}
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Runner exposes the underlying sweep engine (for stats).
+func (s *Service) Runner() *runner.Runner { return s.r }
+
+// Telemetry exposes the service's telemetry surface.
+func (s *Service) Telemetry() *telemetry.Sweep { return s.tel }
+
+// sweepDoc is one persisted sweep: <cacheDir>/sweeps/<id>.json. It holds
+// the submitted requests verbatim — job states are never persisted,
+// because the content-addressed cache already knows which jobs finished:
+// on resume every job re-admits, finished ones land as instant disk hits,
+// and interrupted ones restore from their checkpoints.
+type sweepDoc struct {
+	Schema    int              `json:"schema"`
+	ID        string           `json:"id"`
+	Cancelled bool             `json:"cancelled,omitempty"`
+	Requests  []runner.Request `json:"requests"`
+}
+
+// sweepDocSchema versions the persisted sweep file format.
+const sweepDocSchema = 1
+
+func (s *Service) sweepDir() string { return filepath.Join(s.opts.CacheDir, "sweeps") }
+
+// persistLocked writes a sweep's document atomically (mu held). A write
+// failure degrades durability — the sweep still runs — and is logged.
+func (s *Service) persistLocked(sw *sweepState) {
+	reqs := make([]runner.Request, len(sw.entries))
+	for i, j := range sw.entries {
+		reqs[i] = j.req
+	}
+	doc := sweepDoc{Schema: sweepDocSchema, ID: sw.id, Cancelled: sw.cancelled, Requests: reqs}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err == nil {
+		err = writeAtomic(s.sweepDir(), filepath.Join(s.sweepDir(), sw.id+".json"), append(data, '\n'))
+	}
+	if err != nil && s.opts.Log != nil {
+		fmt.Fprintf(s.opts.Log, "  sweep %s not persisted: %v\n", sw.id, err)
+	}
+}
+
+// writeAtomic writes data through a temp file plus rename, so a reader
+// (or a crash) never sees a partial document.
+func writeAtomic(dir, path string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// reload restores persisted sweeps (oldest id first). Every non-cancelled
+// job re-enters the admission queue: the runner turns already-finished
+// ones into instant disk hits and resumes interrupted ones from their
+// checkpoints, so nothing re-simulates that does not have to.
+func (s *Service) reload() error {
+	ents, err := os.ReadDir(s.sweepDir())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: reloading sweeps: %w", err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.sweepDir(), name))
+		if err != nil {
+			continue
+		}
+		var doc sweepDoc
+		if json.Unmarshal(data, &doc) != nil || doc.Schema != sweepDocSchema || doc.ID == "" {
+			if s.opts.Log != nil {
+				fmt.Fprintf(s.opts.Log, "  sweep file %s unusable, skipped\n", name)
+			}
+			continue
+		}
+		sw := buildSweep(doc.ID, doc.Requests)
+		sw.cancelled = doc.Cancelled
+		if sw.cancelled {
+			for _, j := range sw.jobs {
+				j.state = JobCancelled
+			}
+		}
+		s.sweeps[sw.id] = sw
+		s.order = append(s.order, sw.id)
+		if n := idSeq(doc.ID); n > s.seq {
+			s.seq = n
+		}
+	}
+	return nil
+}
+
+// idSeq extracts the numeric sequence from a sweep id ("s000012-ab34cd56").
+func idSeq(id string) int {
+	rest, ok := strings.CutPrefix(id, "s")
+	if !ok {
+		return 0
+	}
+	num, _, _ := strings.Cut(rest, "-")
+	n, _ := strconv.Atoi(num)
+	return n
+}
+
+// sweepID names a sweep: a monotone sequence number plus a content prefix
+// over its job digests, so ids are stable across a persist/reload cycle
+// and readable in logs.
+func sweepID(seq int, jobs []*job) string {
+	h := sha256.New()
+	for _, j := range jobs {
+		io.WriteString(h, j.digest)
+		io.WriteString(h, "\n")
+	}
+	return fmt.Sprintf("s%06d-%s", seq, hex.EncodeToString(h.Sum(nil))[:8])
+}
+
+// buildSweep expands a request batch into a sweep: requests that
+// normalize to the same digest collapse into one job (the runner would
+// dedupe them anyway; collapsing here keeps the status counts honest).
+func buildSweep(id string, reqs []runner.Request) *sweepState {
+	sw := &sweepState{id: id}
+	seen := make(map[string]*job)
+	for _, q := range reqs {
+		d := q.Digest()
+		j, ok := seen[d]
+		if !ok {
+			j = &job{req: q, digest: d, state: JobQueued}
+			seen[d] = j
+			sw.jobs = append(sw.jobs, j)
+		}
+		sw.entries = append(sw.entries, j)
+	}
+	return sw
+}
+
+// Submit validates and admits one sweep, returning its initial status
+// (every job queued). Validation is all-or-nothing: one bad request
+// rejects the batch, identified by its index.
+func (s *Service) Submit(reqs []runner.Request) (*SweepStatus, error) {
+	if len(reqs) == 0 {
+		return nil, ErrEmptySweep
+	}
+	for i, q := range reqs {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("service: request %d: %w", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	sw := buildSweep("", reqs)
+	sw.id = sweepID(s.seq, sw.jobs)
+	s.sweeps[sw.id] = sw
+	s.order = append(s.order, sw.id)
+	s.persistLocked(sw)
+	s.cond.Broadcast()
+	return s.statusLocked(sw), nil
+}
+
+// Status reports a sweep's current standing.
+func (s *Service) Status(id string) (*SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		return nil, fmt.Errorf("%w: sweep %s", ErrNotFound, id)
+	}
+	return s.statusLocked(sw), nil
+}
+
+// Cancel cancels a sweep: queued jobs never run, in-flight jobs are
+// interrupted (capturing a final checkpoint when checkpointing is on) —
+// unless another live sweep also owns them, in which case they keep
+// running for that sweep. Cancelling an already-cancelled sweep is a
+// no-op that reports the current status.
+func (s *Service) Cancel(id string) (*SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil {
+		return nil, fmt.Errorf("%w: sweep %s", ErrNotFound, id)
+	}
+	if !sw.cancelled {
+		sw.cancelled = true
+		for _, j := range sw.jobs {
+			if j.state == JobQueued {
+				j.state = JobCancelled
+			}
+		}
+		for _, ctl := range s.ctl {
+			if _, ok := ctl.owners[id]; !ok {
+				continue
+			}
+			delete(ctl.owners, id)
+			if len(ctl.owners) == 0 && !ctl.closed {
+				ctl.closed = true
+				close(ctl.ch)
+			}
+		}
+		s.persistLocked(sw)
+		s.cond.Broadcast()
+	}
+	return s.statusLocked(sw), nil
+}
+
+// digestRe is the shape of a canonical content digest (hex sha256); a
+// path parameter that does not match names nothing and is also never
+// allowed near the filesystem.
+var digestRe = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Result returns the raw persisted cache document for a finished job —
+// the same bytes a local sweep writes to <cacheDir>/<digest>.json, so
+// remote and local results are byte-identical.
+func (s *Service) Result(digest string) ([]byte, error) {
+	if !digestRe.MatchString(digest) {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, digest)
+	}
+	data, err := os.ReadFile(filepath.Join(s.opts.CacheDir, digest+".json"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: job %s", ErrNotFound, digest)
+	}
+	return data, nil
+}
+
+// SpanOf returns a finished job's trace span while the tracer still
+// retains it.
+func (s *Service) SpanOf(digest string) (Span, error) {
+	if sp, ok := s.tel.Tracer().Find(digest); ok {
+		return sp, nil
+	}
+	return Span{}, fmt.Errorf("%w: span for job %s", ErrNotFound, digest)
+}
+
+// statusLocked snapshots one sweep (mu held).
+func (s *Service) statusLocked(sw *sweepState) *SweepStatus {
+	st := &SweepStatus{Schema: runner.WireSchema, ID: sw.id, Retries: s.r.Stats().Retries}
+	for _, j := range sw.entries {
+		st.Jobs = append(st.Jobs, JobStatus{
+			Digest: j.digest, Request: j.req, State: j.state,
+			Cached: j.cached, Error: j.errMsg,
+		})
+		switch j.state {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
+		}
+	}
+	switch {
+	case sw.cancelled:
+		st.State = SweepCancelled
+	case st.Queued+st.Running > 0:
+		if st.Running+st.Done+st.Failed > 0 {
+			st.State = SweepRunning
+		} else {
+			st.State = SweepQueued
+		}
+	case st.Failed > 0:
+		st.State = SweepFailed
+	case st.Cancelled > 0:
+		st.State = SweepCancelled
+	default:
+		st.State = SweepDone
+	}
+	if remaining := st.Queued + st.Running; remaining > 0 {
+		p := s.tel.Progress()
+		if fin := p.Finished(); fin > 0 && p.ElapsedSeconds > 0 {
+			workers := p.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			st.ETASeconds = p.ElapsedSeconds / float64(fin) * float64(remaining) / float64(workers)
+		}
+	}
+	return st
+}
+
+// dispatch is the admission loop: it fills the worker pool round-robin
+// across sweeps — one job from each sweep with work, in submission order
+// — so a thousand-job sweep cannot starve a one-job sweep submitted
+// after it. It exits when the service drains.
+func (s *Service) dispatch() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		j, sw := s.nextLocked()
+		if j == nil {
+			s.cond.Wait()
+			continue
+		}
+		j.state = JobRunning
+		s.inflight++
+		ctl := s.ctl[j.digest]
+		if ctl == nil || ctl.closed {
+			ctl = &jobCtl{ch: make(chan struct{}), owners: make(map[string]int)}
+			s.ctl[j.digest] = ctl
+		}
+		ctl.owners[sw.id]++
+		s.mu.Unlock()
+		t := s.r.SubmitInterruptible(j.req, ctl.ch)
+		s.wg.Add(1)
+		go s.await(t, j, sw.id, ctl)
+		s.mu.Lock()
+	}
+}
+
+// nextLocked picks the next job to admit (mu held): round-robin over
+// sweeps, skipping cancelled and exhausted ones, bounded by the pool.
+func (s *Service) nextLocked() (*job, *sweepState) {
+	if s.inflight >= s.opts.Jobs {
+		return nil, nil
+	}
+	n := len(s.order)
+	for k := 0; k < n; k++ {
+		sw := s.sweeps[s.order[(s.rr+k)%n]]
+		if sw.cancelled {
+			continue
+		}
+		for sw.next < len(sw.jobs) && sw.jobs[sw.next].state != JobQueued {
+			sw.next++
+		}
+		if sw.next >= len(sw.jobs) {
+			continue
+		}
+		j := sw.jobs[sw.next]
+		sw.next++
+		s.rr = (s.rr + k + 1) % n
+		return j, sw
+	}
+	return nil, nil
+}
+
+// await collects one admitted job's outcome.
+func (s *Service) await(t *runner.Task, j *job, owner string, ctl *jobCtl) {
+	defer s.wg.Done()
+	out, err := t.Wait()
+	s.mu.Lock()
+	s.inflight--
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.cached = out.Cached
+	case errors.Is(err, machine.ErrInterrupted):
+		j.state = JobCancelled
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	}
+	if n := ctl.owners[owner]; n > 1 {
+		ctl.owners[owner] = n - 1
+	} else {
+		delete(ctl.owners, owner)
+	}
+	if len(ctl.owners) == 0 && s.ctl[j.digest] == ctl {
+		delete(s.ctl, j.digest)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Wait blocks until every admitted sweep is quiescent: nothing queued in
+// a live sweep, nothing in flight. Mostly for tests and one-shot hosts.
+func (s *Service) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.idleLocked() {
+		s.cond.Wait()
+	}
+}
+
+func (s *Service) idleLocked() bool {
+	if s.inflight > 0 {
+		return false
+	}
+	for _, sw := range s.sweeps {
+		if sw.cancelled {
+			continue
+		}
+		for _, j := range sw.jobs {
+			if j.state == JobQueued || j.state == JobRunning {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain stops admission and interrupts every in-flight job so it
+// checkpoints, then waits for the pool to empty. Queued jobs stay in
+// their persisted sweep documents; a restart with Options.Resume picks
+// them back up. Drain is idempotent.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, ctl := range s.ctl {
+			if !ctl.closed {
+				ctl.closed = true
+				close(ctl.ch)
+			}
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Close drains the service and releases the runner's and (when owned)
+// the telemetry surface's resources.
+func (s *Service) Close() error {
+	s.Drain()
+	err := s.r.Close()
+	if s.ownTel {
+		if e := s.tel.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}

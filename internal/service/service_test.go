@@ -1,0 +1,610 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dynamo/internal/core"
+	"dynamo/internal/machine"
+	"dynamo/internal/runner"
+	"dynamo/internal/workload"
+)
+
+// counterReq builds a fast, distinct simulation request: the Fig. 1
+// counter microbenchmark keyed by seed so each seed is its own digest.
+func counterReq(seed int64) runner.Request {
+	return runner.Request{
+		Counter: &runner.CounterSpec{Ops: 20, Cells: 1},
+		Threads: 2,
+		Seed:    seed,
+	}
+}
+
+// startService builds a Service plus its HTTP front end on a loopback
+// port and returns both with a ready client.
+func startService(t *testing.T, o Options) (*Service, *Server, *Client) {
+	t.Helper()
+	svc, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", svc)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv, Dial(srv.Addr())
+}
+
+// resultJSON decodes a cache document and renders only the simulation
+// result — the part that must be identical across transports (the raw
+// entry also records wall-clock elapsed time, which never is).
+func resultJSON(t *testing.T, entry []byte) []byte {
+	t.Helper()
+	out, _, err := runner.DecodeEntry(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	cache := t.TempDir()
+	svc, srv, c := startService(t, Options{CacheDir: cache, Jobs: 2})
+
+	// Two distinct jobs plus one duplicate: the duplicate collapses into
+	// the same digest but still counts as a submitted entry.
+	st, err := c.Submit(counterReq(1), counterReq(2), counterReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || len(st.Jobs) != 3 {
+		t.Fatalf("submit status = %+v", st)
+	}
+	if st.Jobs[0].Digest != st.Jobs[2].Digest || st.Jobs[0].Digest == st.Jobs[1].Digest {
+		t.Fatalf("digest collapse wrong: %+v", st.Jobs)
+	}
+	if st, err = c.Wait(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != SweepDone || st.Done != 3 {
+		t.Fatalf("final status = %+v", st)
+	}
+
+	// The served result document is byte-for-byte the server's cache file.
+	digest := st.Jobs[0].Digest
+	remote, err := c.ResultBytes(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(cache, digest+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote, disk) {
+		t.Error("served bytes differ from the on-disk cache document")
+	}
+
+	// And the simulation result inside it is byte-identical to a local
+	// runner executing the same request against its own cache.
+	local := runner.New(runner.Options{Jobs: 1, CacheDir: t.TempDir()})
+	defer local.Close()
+	out, err := local.Run(counterReq(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultJSON(t, remote), localJSON) {
+		t.Error("remote and local simulation results differ")
+	}
+
+	// A second submission of the same sweep is answered from the runner's
+	// in-memory dedupe — nothing re-simulates — and serves the same bytes.
+	misses := svc.Runner().Stats().Misses
+	st2, err := c.Submit(counterReq(1), counterReq(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2, err = c.Wait(st2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Done != 2 {
+		t.Fatalf("warm resubmit status = %+v", st2)
+	}
+	if again := svc.Runner().Stats().Misses; again != misses {
+		t.Errorf("warm resubmit re-simulated: %d -> %d misses", misses, again)
+	}
+	remote2, err := c.ResultBytes(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remote, remote2) {
+		t.Error("warm-cache result bytes changed")
+	}
+
+	// The job's trace span is served while the tracer retains it.
+	span, err := c.Span(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span.Digest != digest || span.Outcome == "" {
+		t.Errorf("span = %+v", span)
+	}
+
+	// The telemetry endpoints ride on the same listener.
+	resp, err := http.Get("http://" + srv.Addr() + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/progress = %d", resp.StatusCode)
+	}
+}
+
+func TestExecuteHookMatchesLocal(t *testing.T) {
+	_, _, c := startService(t, Options{CacheDir: t.TempDir(), Jobs: 2})
+
+	// A local runner with the remote Execute hook: dedupe, stats and
+	// result identity stay local, simulation happens on the server.
+	remote := runner.New(runner.Options{Jobs: 2, Execute: c.Execute})
+	defer remote.Close()
+	local := runner.New(runner.Options{Jobs: 2})
+	defer local.Close()
+
+	req := counterReq(7)
+	ro, err := remote.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := local.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, _ := json.Marshal(ro.Result)
+	lj, _ := json.Marshal(lo.Result)
+	if !bytes.Equal(rj, lj) {
+		t.Errorf("remote-executed result differs from local:\n%s\n%s", rj, lj)
+	}
+}
+
+func TestSubmitValidationErrors(t *testing.T) {
+	_, srv, c := startService(t, Options{CacheDir: t.TempDir()})
+
+	if _, err := c.Submit(runner.Request{Workload: "nope"}); !errors.Is(err, workload.ErrUnknown) {
+		t.Errorf("unknown workload err = %v", err)
+	}
+	if _, err := c.Submit(runner.Request{Workload: "tc", Policy: "nope"}); !errors.Is(err, core.ErrUnknownPolicy) {
+		t.Errorf("unknown policy err = %v", err)
+	}
+	if _, err := c.Submit(runner.Request{Schema: 99, Workload: "tc"}); !errors.Is(err, runner.ErrWireSchema) {
+		t.Errorf("bad schema err = %v", err)
+	}
+	if _, err := c.Submit(runner.Request{Workload: "tc", Threads: -1}); !errors.Is(err, runner.ErrBadField) {
+		t.Errorf("bad field err = %v", err)
+	}
+	if _, err := c.Submit(); err == nil || !strings.Contains(err.Error(), "at least one request") {
+		t.Errorf("empty sweep err = %v", err)
+	}
+
+	// Malformed JSON → structured 400 with the error envelope.
+	resp, err := http.Post("http://"+srv.Addr()+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"requests": [`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON status = %d", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Message == "" || eb.Error.Kind != "bad-request" {
+		t.Errorf("malformed JSON envelope = %+v", eb)
+	}
+
+	// A validation failure on the wire carries the offending field.
+	body, _ := json.Marshal(SubmitRequest{Requests: []runner.Request{{Workload: "nope"}}})
+	resp2, err := http.Post("http://"+srv.Addr()+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var eb2 ErrorBody
+	if err := json.NewDecoder(resp2.Body).Decode(&eb2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusBadRequest || eb2.Error.Kind != "unknown-workload" || eb2.Error.Field != "workload" || eb2.Error.Value != "nope" {
+		t.Errorf("typed 400 = %d %+v", resp2.StatusCode, eb2)
+	}
+}
+
+func TestNotFoundAndCancelSemantics(t *testing.T) {
+	_, _, c := startService(t, Options{CacheDir: t.TempDir(), Jobs: 1})
+
+	if _, err := c.Status("s999999-deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown sweep status err = %v", err)
+	}
+	if _, err := c.Cancel("s999999-deadbeef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown sweep cancel err = %v", err)
+	}
+	if _, err := c.ResultBytes(strings.Repeat("ab", 32)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown digest err = %v", err)
+	}
+	if _, err := c.ResultBytes("../../../etc/passwd"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("traversal digest err = %v", err)
+	}
+	if _, err := c.Span(strings.Repeat("ab", 32)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown span err = %v", err)
+	}
+
+	st, err := c.Submit(counterReq(11), counterReq(12), counterReq(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := c.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != SweepCancelled {
+		t.Fatalf("cancelled status = %+v", st1)
+	}
+	// Cancel is idempotent: a second cancel reports, never errors.
+	st2, err := c.Cancel(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != SweepCancelled {
+		t.Fatalf("double-cancel status = %+v", st2)
+	}
+
+	// A cancelled digest is not poisoned: a fresh sweep re-running the
+	// same request completes.
+	st3, err := c.Submit(counterReq(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3, err = c.Wait(st3.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st3.State != SweepDone || st3.Done != 1 {
+		t.Fatalf("resubmit after cancel = %+v", st3)
+	}
+}
+
+func TestClientRetriesRefusedConnections(t *testing.T) {
+	// Reserve a port, release it, and dial before anything listens: the
+	// first attempts are refused, then the server comes up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	svc, err := New(Options{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	done := make(chan *Server, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		srv, err := Serve(addr, svc)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- srv
+	}()
+	defer func() {
+		if srv := <-done; srv != nil {
+			srv.Close()
+		}
+	}()
+
+	c := Dial(addr)
+	c.Backoff = 50 * time.Millisecond
+	c.Retries = 8
+	// The call must ride out the refused connections and then complete a
+	// real round-trip (a 404 proves the HTTP exchange happened).
+	if _, err := c.Status("s000000-00000000"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("status through restart = %v", err)
+	}
+
+	// A non-refused transport error is not retried.
+	c2 := Dial("127.0.0.1:1")
+	c2.Retries = 0
+	if _, err := c2.Status("x"); err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+}
+
+// slowReq is a longer counter run (~tens of ms) so scheduling tests can
+// observe a sweep mid-flight.
+func slowReq(seed int64) runner.Request {
+	return runner.Request{
+		Counter: &runner.CounterSpec{Ops: 20000, Cells: 1},
+		Threads: 2,
+		Seed:    seed,
+	}
+}
+
+func TestFairSchedulingAcrossSweeps(t *testing.T) {
+	svc, _, c := startService(t, Options{CacheDir: t.TempDir(), Jobs: 1})
+
+	// Sweep A floods the (single-worker) pool; sweep B arrives while A's
+	// first job runs with the rest still queued. Round-robin admission
+	// must interleave B before A's tail rather than running A to
+	// completion first.
+	a, err := c.Submit(slowReq(21), slowReq(22), slowReq(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	caught := false
+	for time.Now().Before(deadline) {
+		st, err := c.Status(a.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Running > 0 && st.Done == 0 && st.Queued >= 2 {
+			caught = true
+			break
+		}
+		if st.Terminal() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !caught {
+		t.Skip("sweep A finished before it could be observed mid-flight")
+	}
+	b, err := c.Submit(slowReq(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-validate after B is admitted: a sweep's queued count only
+	// decreases, so if A still has two jobs queued now it had two at B's
+	// admission, and round-robin (which may grant A at most one more
+	// dispatch before B's turn) must run B before A's last job. On a
+	// loaded host A can drain between the observation above and the
+	// submit — that is a slow test run, not starvation.
+	st, err := c.Status(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queued < 2 {
+		t.Skip("sweep A drained before sweep B was admitted")
+	}
+	if _, err := c.Wait(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(b.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Completion order on a one-worker pool is admission order: B's job
+	// must not be the last span recorded.
+	spans := svc.Telemetry().Tracer().Tail(0)
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	bDigest := slowReq(24).Digest()
+	if spans[len(spans)-1].Digest == bDigest {
+		t.Errorf("sweep B ran last: a later one-job sweep was starved by an earlier flood")
+	}
+}
+
+func TestDrainPersistsAndResumeCompletes(t *testing.T) {
+	cache := t.TempDir()
+
+	svc, srv, c := startService(t, Options{CacheDir: cache, Jobs: 1, CkptEvery: 5000})
+	st, err := c.Submit(counterReq(31), counterReq(32), counterReq(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := st.ID
+	// Drain immediately: whatever is in flight checkpoints and stops,
+	// the rest stays queued in the persisted sweep document.
+	svc.Drain()
+	if _, err := c.Submit(counterReq(34)); !errors.Is(err, ErrDraining) {
+		t.Errorf("submit while draining err = %v", err)
+	}
+	srv.Close()
+	svc.Close()
+
+	if _, err := os.Stat(filepath.Join(cache, "sweeps", id+".json")); err != nil {
+		t.Fatalf("sweep document not persisted: %v", err)
+	}
+
+	// Restart over the same cache with Resume: the sweep re-admits under
+	// its original id and completes.
+	_, _, c2 := startService(t, Options{CacheDir: cache, Jobs: 2, Resume: true})
+	final, err := c2.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != SweepDone || final.Done != 3 {
+		t.Fatalf("resumed sweep = %+v", final)
+	}
+	// Every result is on disk and decodes to the same simulation result a
+	// fresh local run produces.
+	local := runner.New(runner.Options{Jobs: 1})
+	defer local.Close()
+	for _, j := range final.Jobs {
+		remote, err := c2.ResultBytes(j.Digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := local.Run(j.Request)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := json.Marshal(out.Result)
+		if !bytes.Equal(resultJSON(t, remote), want) {
+			t.Errorf("job %s: resumed result differs from a fresh run", j.Digest)
+		}
+	}
+}
+
+func TestCancelledSweepStaysCancelledAcrossRestart(t *testing.T) {
+	cache := t.TempDir()
+	svc, srv, c := startService(t, Options{CacheDir: cache, Jobs: 1})
+	st, err := c.Submit(counterReq(41), counterReq(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	svc.Drain()
+	srv.Close()
+	svc.Close()
+
+	_, _, c2 := startService(t, Options{CacheDir: cache, Jobs: 1, Resume: true})
+	got, err := c2.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != SweepCancelled {
+		t.Fatalf("restarted cancelled sweep = %+v", got)
+	}
+}
+
+func TestServiceRequiresCacheDir(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("service without a cache dir built")
+	}
+}
+
+func TestIndexAndUnknownRoutes(t *testing.T) {
+	_, srv, _ := startService(t, Options{CacheDir: t.TempDir()})
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("index = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route = %d", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Kind != "not-found" {
+		t.Errorf("unknown route envelope = %+v", eb)
+	}
+}
+
+// TestInterruptedJobsAreReplayable drives the runner-level guarantee the
+// service depends on: a task finished with ErrInterrupted is replaced on
+// resubmission instead of memoized forever.
+func TestInterruptedJobsAreReplayable(t *testing.T) {
+	r := runner.New(runner.Options{Jobs: 1})
+	defer r.Close()
+	req := counterReq(51)
+	ch := make(chan struct{})
+	close(ch) // interrupted before it ever runs
+	task := r.SubmitInterruptible(req, ch)
+	if _, err := task.Wait(); !errors.Is(err, machine.ErrInterrupted) {
+		t.Fatalf("pre-closed interrupt err = %v", err)
+	}
+	out, err := r.Run(req)
+	if err != nil {
+		t.Fatalf("resubmit after interrupt: %v", err)
+	}
+	if out.Result == nil {
+		t.Fatal("resubmit returned no result")
+	}
+}
+
+// TestStatusETA exercises the ETA derivation: after at least one finished
+// job, a sweep with remaining work reports a positive ETA.
+func TestStatusETA(t *testing.T) {
+	svc, _, c := startService(t, Options{CacheDir: t.TempDir(), Jobs: 1})
+	st, err := c.Submit(counterReq(61), counterReq(62), counterReq(63), counterReq(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawETA := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		cur, err := c.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Terminal() {
+			break
+		}
+		if cur.Done > 0 && cur.Queued+cur.Running > 0 && cur.ETASeconds > 0 {
+			sawETA = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawETA {
+		// The sweep may simply have finished too fast to observe an
+		// intermediate state; only fail when an intermediate state WAS
+		// observable and carried no ETA. Recheck via a direct snapshot.
+		t.Logf("no intermediate ETA observed (fast machine); final = %+v", mustStatus(t, svc, st.ID))
+	}
+}
+
+func mustStatus(t *testing.T, svc *Service, id string) *SweepStatus {
+	t.Helper()
+	st, err := svc.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestSweepIDStability locks the id shape: monotone sequence plus a
+// content prefix over the job digests.
+func TestSweepIDStability(t *testing.T) {
+	_, _, c := startService(t, Options{CacheDir: t.TempDir(), Jobs: 1})
+	st, err := c.Submit(counterReq(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq int
+	var hexpart string
+	if n, err := fmt.Sscanf(st.ID, "s%06d-%8s", &seq, &hexpart); n != 2 || err != nil {
+		t.Fatalf("sweep id %q does not match s%%06d-%%8x", st.ID)
+	}
+	if seq != 1 {
+		t.Errorf("first sweep seq = %d", seq)
+	}
+}

@@ -1,0 +1,124 @@
+// Package service is the sweep control plane: a long-running HTTP/JSON
+// front end over the runner that accepts whole sweeps, schedules them
+// fairly against each other on one shared worker pool, serves results out
+// of the content-addressed cache, and survives restarts.
+//
+// The wire API is deliberately thin. A request on the wire is exactly
+// runner.Request — the same struct, the same stable lowercase JSON field
+// names the canonical digest is computed over — so a served sweep, a CLI
+// sweep and a warm cache are byte-identical and dedupe globally. The
+// document is versioned by runner.WireSchema; the canonical digest is
+// versioned separately by runner.ConfigSchema.
+//
+// Routes (all under /v1):
+//
+//	POST   /v1/sweeps             submit a batch of requests → sweep id + per-job digests
+//	GET    /v1/sweeps/{id}        sweep status: per-job states, counts, ETA
+//	DELETE /v1/sweeps/{id}        cancel the sweep (idempotent)
+//	GET    /v1/jobs/{digest}      the raw cache document for a finished job
+//	GET    /v1/jobs/{digest}/span the job's trace span, while retained
+//
+// The telemetry endpoints (/metrics, /progress, /jobs) mount on the same
+// listener via telemetry.Mount.
+package service
+
+import (
+	"dynamo/internal/runner"
+	"dynamo/internal/telemetry"
+)
+
+// APIVersion prefixes every control-plane route.
+const APIVersion = "v1"
+
+// Job states, as reported in JobStatus.State. "queued" and "running" are
+// transient; the rest are terminal.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Sweep states, as reported in SweepStatus.State.
+const (
+	SweepQueued    = "queued"
+	SweepRunning   = "running"
+	SweepDone      = "done"
+	SweepFailed    = "failed"
+	SweepCancelled = "cancelled"
+)
+
+// SubmitRequest is the POST /v1/sweeps body: one sweep as a batch of wire
+// requests. Schema is runner.WireSchema (zero is accepted and means "the
+// current one"); each request may additionally carry its own schema field.
+type SubmitRequest struct {
+	Schema   int              `json:"schema,omitempty"`
+	Requests []runner.Request `json:"requests"`
+}
+
+// JobStatus is one job's standing inside a sweep. Digest is the request's
+// canonical content digest — the key for GET /v1/jobs/{digest} once the
+// job is done.
+type JobStatus struct {
+	Digest  string         `json:"digest"`
+	Request runner.Request `json:"request"`
+	State   string         `json:"state"`
+	// Cached marks a job answered by the persistent store rather than
+	// simulated for this sweep.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// SweepStatus is a point-in-time snapshot of one sweep: the response body
+// of POST /v1/sweeps, GET /v1/sweeps/{id} and DELETE /v1/sweeps/{id}.
+type SweepStatus struct {
+	Schema int    `json:"schema"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	// Per-job counts over Jobs. Requests that collapsed to one digest
+	// count once per submitted entry.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Retries counts transient-failure re-executions across the whole
+	// service (the worker pool is shared, so retries are too).
+	Retries uint64 `json:"retries,omitempty"`
+	// ETASeconds extrapolates this sweep's remaining jobs from the
+	// service-wide per-job completion rate (zero when idle or unknown).
+	ETASeconds float64     `json:"eta_seconds,omitempty"`
+	Jobs       []JobStatus `json:"jobs"`
+}
+
+// Terminal reports whether the sweep reached a terminal state. A
+// just-cancelled sweep is terminal even while its in-flight jobs wind
+// down to their checkpoints.
+func (s *SweepStatus) Terminal() bool {
+	switch s.State {
+	case SweepDone, SweepFailed, SweepCancelled:
+		return true
+	}
+	return false
+}
+
+// WireError is the structured error every non-2xx response carries, under
+// an {"error": ...} envelope. Kind is a stable machine-matchable cause:
+// "schema", "unknown-workload", "unknown-policy", "bad-field",
+// "not-found", "draining" or "bad-request"; Field and Value identify the
+// offending request field on a validation failure.
+type WireError struct {
+	Message string `json:"message"`
+	Kind    string `json:"kind,omitempty"`
+	Field   string `json:"field,omitempty"`
+	Value   string `json:"value,omitempty"`
+}
+
+// ErrorBody is the non-2xx response envelope.
+type ErrorBody struct {
+	Error WireError `json:"error"`
+}
+
+// Span aliases the telemetry job span served by /v1/jobs/{digest}/span.
+type Span = telemetry.JobSpan

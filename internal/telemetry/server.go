@@ -18,9 +18,20 @@ import (
 //
 // The server only reads the telemetry surface; it never blocks the sweep.
 type Server struct {
-	s    *Sweep
+	handlers
 	ln   net.Listener
 	http *http.Server
+}
+
+// Mount registers the telemetry endpoints (/metrics, /progress, /jobs) on
+// an existing mux, so a host server — the sweep control plane — shares one
+// listener between its API and the telemetry surface. Serve uses it for
+// the standalone server.
+func Mount(mux *http.ServeMux, s *Sweep) {
+	h := handlers{s: s}
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/progress", h.progress)
+	mux.HandleFunc("/jobs", h.jobs)
 }
 
 // Serve binds addr (host:port; ":0" picks a free port) and serves s until
@@ -30,11 +41,9 @@ func Serve(addr string, s *Sweep) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
-	srv := &Server{s: s, ln: ln}
+	srv := &Server{handlers: handlers{s: s}, ln: ln}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", srv.metrics)
-	mux.HandleFunc("/progress", srv.progress)
-	mux.HandleFunc("/jobs", srv.jobs)
+	Mount(mux, s)
 	mux.HandleFunc("/", srv.index)
 	srv.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.http.Serve(ln)
@@ -59,19 +68,24 @@ func (s *Server) Close() error {
 	return s.http.Shutdown(ctx)
 }
 
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+// handlers are the mountable telemetry endpoints over one Sweep surface.
+type handlers struct {
+	s *Sweep
+}
+
+func (s handlers) metrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.s.WriteMetrics(w)
 }
 
-func (s *Server) progress(w http.ResponseWriter, _ *http.Request) {
+func (s handlers) progress(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.s.Progress())
 }
 
-func (s *Server) jobs(w http.ResponseWriter, r *http.Request) {
+func (s handlers) jobs(w http.ResponseWriter, r *http.Request) {
 	n := 0
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)

@@ -132,6 +132,24 @@ func (t *Tracer) Tail(n int) []JobSpan {
 	return out
 }
 
+// Find returns the most recent completed span for digest, when one is
+// still in the retained tail (a digest that completed more than once —
+// retried across sweeps, say — reports its latest completion). The sweep
+// service's /v1/jobs/{digest}/span endpoint reads through it.
+func (t *Tracer) Find(digest string) (JobSpan, bool) {
+	if t == nil {
+		return JobSpan{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.tail) - 1; i >= 0; i-- {
+		if t.tail[i].Digest == digest {
+			return t.tail[i], true
+		}
+	}
+	return JobSpan{}, false
+}
+
 // Total returns how many spans completed over the tracer's lifetime
 // (including any evicted from the tail).
 func (t *Tracer) Total() uint64 {

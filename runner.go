@@ -127,22 +127,138 @@ func ExportJobTrace(journalPath string, w io.Writer) error {
 	return telemetry.ExportTraceEvents(f, w)
 }
 
-// WithTelemetry attaches a telemetry surface to the runner: metrics
-// (Prometheus-renderable via SweepTelemetry.WriteMetrics), progress
-// snapshots, and per-job trace spans. The surface's lifetime belongs to
-// the caller; the runner never closes it.
-func WithTelemetry(t *SweepTelemetry) RunnerOption {
-	return func(o *runner.Options) { o.Telemetry = t }
+// serviceConfig collects the service-facing knobs shared by WithService
+// (telemetry on a Runner) and Serve (the standalone sweep control plane).
+type serviceConfig struct {
+	telemetry *SweepTelemetry
+	journal   string
+	cacheDir  string
+	jobs      int
+	retries   int
+	ckptEvery uint64
+	resume    bool
+	log       io.Writer
 }
 
-// WithServe exposes the runner's telemetry over HTTP on addr (host:port;
-// ":0" picks a free port): /metrics in Prometheus text format, /progress
-// as a JSON snapshot, /jobs as the recent job-span tail. When no
-// WithTelemetry surface was supplied, a journal-less one is created.
-// The bound address (or bind error) is reported by Runner.TelemetryAddr;
-// Runner.Close stops the server.
+// ServiceOption configures the observability and service surface shared
+// by WithService (on a Runner) and Serve (the sweep control plane).
+type ServiceOption func(*serviceConfig)
+
+// ServiceTelemetry supplies a telemetry surface. Its lifetime belongs to
+// the caller; neither the runner nor the service closes it.
+func ServiceTelemetry(t *SweepTelemetry) ServiceOption {
+	return func(c *serviceConfig) { c.telemetry = t }
+}
+
+// ServiceJournal journals one JSON span per completed job to path (only
+// when no ServiceTelemetry surface was supplied — a supplied surface
+// already owns its journal).
+func ServiceJournal(path string) ServiceOption {
+	return func(c *serviceConfig) { c.journal = path }
+}
+
+// ServiceCacheDir sets the persistent result store (see WithCacheDir).
+// Serve requires one: a service without a cache has nothing durable to
+// serve.
+func ServiceCacheDir(dir string) ServiceOption {
+	return func(c *serviceConfig) { c.cacheDir = dir }
+}
+
+// ServiceJobs bounds concurrently executing simulations (see WithJobs).
+func ServiceJobs(n int) ServiceOption {
+	return func(c *serviceConfig) { c.jobs = n }
+}
+
+// ServiceRetries re-executes transiently failed runs (see WithRetries).
+func ServiceRetries(n int) ServiceOption {
+	return func(c *serviceConfig) { c.retries = n }
+}
+
+// ServiceCheckpoints checkpoints running jobs every `every` simulation
+// events (see WithRunnerCheckpoints).
+func ServiceCheckpoints(every uint64) ServiceOption {
+	return func(c *serviceConfig) { c.ckptEvery = every }
+}
+
+// ServiceResume restores persisted sweeps and job checkpoints on start
+// (see WithResume; for Serve it additionally reloads the sweep queue).
+func ServiceResume() ServiceOption {
+	return func(c *serviceConfig) { c.resume = true }
+}
+
+// ServiceLog sends progress lines to w.
+func ServiceLog(w io.Writer) ServiceOption {
+	return func(c *serviceConfig) { c.log = w }
+}
+
+// fill resolves the options, opening a journal-backed telemetry surface
+// when a journal path was given without a surface. A journal that fails
+// to open degrades observability, never the sweep.
+func (c *serviceConfig) fill(opts []ServiceOption) {
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.telemetry == nil && c.journal != "" {
+		if t, err := NewSweepTelemetry(c.journal); err == nil {
+			c.telemetry = t
+		}
+	}
+}
+
+// WithService exposes the runner over HTTP on addr (host:port; ":0"
+// picks a free port): /metrics in Prometheus text format, /progress as a
+// JSON snapshot, /jobs as the recent job-span tail. The options cover
+// the whole service-shaped surface — telemetry, journal, cache, pool
+// size, retries, checkpointing — so one call configures a runner the way
+// Serve configures the standalone control plane. When no telemetry
+// surface is supplied (directly or via ServiceJournal), a journal-less
+// one is created. The bound address (or bind error) is reported by
+// Runner.TelemetryAddr; Runner.Close stops the server. An empty addr
+// applies the options without serving.
+func WithService(addr string, opts ...ServiceOption) RunnerOption {
+	return func(o *runner.Options) {
+		var c serviceConfig
+		c.fill(opts)
+		if addr != "" {
+			o.ServeAddr = addr
+		}
+		if c.telemetry != nil {
+			o.Telemetry = c.telemetry
+		}
+		if c.cacheDir != "" {
+			o.CacheDir = c.cacheDir
+		}
+		if c.jobs > 0 {
+			o.Jobs = c.jobs
+		}
+		if c.retries > 0 {
+			o.Retries = c.retries
+		}
+		if c.ckptEvery > 0 {
+			o.CkptEvery = c.ckptEvery
+		}
+		if c.resume {
+			o.Resume = true
+		}
+		if c.log != nil {
+			o.Log = c.log
+		}
+	}
+}
+
+// WithTelemetry attaches a telemetry surface to the runner.
+//
+// Deprecated: Use WithService with ServiceTelemetry; WithTelemetry
+// remains as a one-line alias.
+func WithTelemetry(t *SweepTelemetry) RunnerOption {
+	return WithService("", ServiceTelemetry(t))
+}
+
+// WithServe exposes the runner's telemetry over HTTP on addr.
+//
+// Deprecated: Use WithService; WithServe remains as a one-line alias.
 func WithServe(addr string) RunnerOption {
-	return func(o *runner.Options) { o.ServeAddr = addr }
+	return WithService(addr)
 }
 
 // NewRunner builds a sweep runner over the default Table II system.
@@ -158,42 +274,40 @@ func NewRunner(opts ...RunnerOption) *Runner {
 // field selects the usual default (policy "all-near", 32 threads, seed 1,
 // scale 1.0, default input, base system). Requests with equal effective
 // parameters are the same job and simulate at most once.
-type SweepRequest struct {
-	// Workload is a Table III workload name (see Workloads).
-	Workload string
-	// Policy is a placement policy name (see Policies).
-	Policy string
-	// Input selects a workload input variant.
-	Input   string
-	Threads int
-	Seed    int64
-	Scale   float64
-	// Variant names a non-default system configuration — the Fig. 10/11
-	// study points such as "noc-1c", "double-lat" or "amt-e64-w4-c32".
-	Variant string
-	// Check attaches the protocol invariant sanitizer; a clean run
-	// reports its audit counters in the result's Check.
-	Check bool
-	// ChaosSeed and ChaosLevel attach the deterministic fault injector
-	// (see WithChaos). Setting one defaults the other to 1.
-	ChaosSeed  int64
-	ChaosLevel int
-}
+//
+// SweepRequest is also the wire type: the same struct, with the same
+// stable lowercase JSON field names its canonical digest is computed
+// over, is what Runner.Submit takes, what the CLI flags populate, and
+// what the sweep service accepts as its HTTP body (see Serve and Dial) —
+// there is no parallel DTO, so a served sweep, a CLI sweep and a warm
+// cache are byte-identical and dedupe globally. The JSON document is
+// versioned by SweepRequestSchema (the optional "schema" field; zero
+// means current). Validate checks a request against this build's
+// registries and limits without running anything, returning typed
+// *FieldError values.
+type SweepRequest = runner.Request
 
-func (q SweepRequest) request() runner.Request {
-	return runner.Request{
-		Workload:   q.Workload,
-		Policy:     q.Policy,
-		Input:      q.Input,
-		Threads:    q.Threads,
-		Seed:       q.Seed,
-		Scale:      q.Scale,
-		SysVariant: q.Variant,
-		Check:      q.Check,
-		ChaosSeed:  q.ChaosSeed,
-		ChaosLevel: q.ChaosLevel,
-	}
-}
+// CounterSpec selects the Fig. 1 shared-counter microbenchmark inside a
+// SweepRequest, instead of a named workload.
+type CounterSpec = runner.CounterSpec
+
+// SweepRequestSchema is the current SweepRequest wire-format version.
+const SweepRequestSchema = runner.WireSchema
+
+// FieldError is one invalid SweepRequest field, as returned by
+// SweepRequest.Validate: which field (its wire name), the offending
+// value, and a cause matchable with errors.Is — ErrUnknownWorkload,
+// ErrUnknownPolicy, ErrRequestSchema or ErrBadRequestField.
+type FieldError = runner.FieldError
+
+var (
+	// ErrRequestSchema reports a SweepRequest document written under a
+	// wire-format version this build does not speak.
+	ErrRequestSchema = runner.ErrWireSchema
+	// ErrBadRequestField reports a SweepRequest field whose value is out
+	// of range or inconsistent with the rest of the request.
+	ErrBadRequestField = runner.ErrBadField
+)
 
 // RunnerStats counts what a Runner did: in-memory and persistent cache
 // hits, misses (simulations executed), evictions of unusable persisted
@@ -217,12 +331,12 @@ func (h *RunHandle) Result() (*Result, error) {
 // Submit enqueues a run and returns immediately; duplicate requests
 // coalesce into one job.
 func (r *Runner) Submit(req SweepRequest) *RunHandle {
-	return &RunHandle{t: r.r.Submit(req.request())}
+	return &RunHandle{t: r.r.Submit(req)}
 }
 
 // Run submits a request and waits for its result.
 func (r *Runner) Run(req SweepRequest) (*Result, error) {
-	return (&RunHandle{t: r.r.Submit(req.request())}).Result()
+	return (&RunHandle{t: r.r.Submit(req)}).Result()
 }
 
 // Wait blocks until every submitted run has completed and returns the

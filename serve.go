@@ -1,0 +1,108 @@
+package dynamo
+
+import (
+	"dynamo/internal/runner"
+	"dynamo/internal/service"
+)
+
+// SweepService is a running sweep control plane (see Serve): an HTTP/JSON
+// API over a shared Runner that accepts whole sweeps, schedules
+// concurrent sweeps fairly (round-robin admission across sweeps) on one
+// worker pool, serves results out of the content-addressed cache, and
+// survives restarts through persisted sweep documents plus job
+// checkpoints.
+//
+// Routes: POST /v1/sweeps, GET|DELETE /v1/sweeps/{id},
+// GET /v1/jobs/{digest}, GET /v1/jobs/{digest}/span, plus the telemetry
+// endpoints (/metrics, /progress, /jobs) on the same listener.
+type SweepService struct {
+	svc *service.Service
+	srv *service.Server
+}
+
+// SweepStatus is one sweep's point-in-time standing as reported by the
+// service and client: per-job states and digests, counts, and an ETA.
+type SweepStatus = service.SweepStatus
+
+// SweepJobStatus is one job's standing inside a SweepStatus.
+type SweepJobStatus = service.JobStatus
+
+// SweepClient talks to a sweep service over HTTP. Submitted requests are
+// plain SweepRequests; results come back as the exact cache-entry bytes
+// the server holds on disk, so remote and local sweeps are
+// byte-identical.
+type SweepClient = service.Client
+
+// ErrSweepNotFound marks a sweep id or job digest the service does not
+// know (HTTP 404 on the wire).
+var ErrSweepNotFound = service.ErrNotFound
+
+// ErrServiceDraining rejects submissions while the service shuts down
+// (HTTP 503 on the wire).
+var ErrServiceDraining = service.ErrDraining
+
+// Serve starts a sweep service on addr (host:port; ":0" picks a free
+// port). ServiceCacheDir is required — the cache is what the service
+// serves. With ServiceResume, persisted sweeps reload and interrupted
+// jobs restore from their checkpoints, so a restart continues exactly
+// where the previous process stopped.
+func Serve(addr string, opts ...ServiceOption) (*SweepService, error) {
+	var c serviceConfig
+	c.fill(opts)
+	svc, err := service.New(service.Options{
+		CacheDir:  c.cacheDir,
+		Jobs:      c.jobs,
+		Retries:   c.retries,
+		CkptEvery: c.ckptEvery,
+		Resume:    c.resume,
+		Telemetry: c.telemetry,
+		Log:       c.log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := service.Serve(addr, svc)
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	return &SweepService{svc: svc, srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *SweepService) Addr() string { return s.srv.Addr() }
+
+// Drain stops accepting sweeps and interrupts in-flight jobs so they
+// checkpoint; queued jobs stay persisted for a later ServiceResume
+// start. Drain returns once the pool is empty and is idempotent —
+// dynamo-serve calls it on SIGTERM.
+func (s *SweepService) Drain() { s.svc.Drain() }
+
+// Wait blocks until every accepted sweep is quiescent (for one-shot
+// hosts and tests).
+func (s *SweepService) Wait() { s.svc.Wait() }
+
+// Close drains the service, stops the HTTP listener and releases the
+// runner's resources.
+func (s *SweepService) Close() error {
+	first := s.srv.Close()
+	if err := s.svc.Close(); first == nil {
+		first = err
+	}
+	return first
+}
+
+// Dial builds a client for a sweep service at addr ("host:port", scheme
+// optional). The client retries refused connections briefly, so a server
+// mid-restart is transparent.
+func Dial(addr string) *SweepClient { return service.Dial(addr) }
+
+// WithRemote routes a Runner's job execution to a sweep service at addr:
+// the local runner keeps its pool, dedupe, stats and telemetry
+// semantics, but every cache-missing job runs on the server and comes
+// back as the server's cache-entry bytes. Combine with an empty cache
+// directory to make the server the single source of truth.
+func WithRemote(addr string) RunnerOption {
+	client := service.Dial(addr)
+	return func(o *runner.Options) { o.Execute = client.Execute }
+}

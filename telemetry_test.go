@@ -10,8 +10,8 @@ import (
 )
 
 // TestSweepTelemetryFacade drives the public observability surface end to
-// end: WithTelemetry + WithServe, a journal on disk, live endpoints, and
-// the metrics renderer.
+// end: WithService carrying a telemetry surface, a journal on disk, live
+// endpoints, and the metrics renderer.
 func TestSweepTelemetryFacade(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "journal.jsonl")
 	tel, err := NewSweepTelemetry(journal)
@@ -20,7 +20,7 @@ func TestSweepTelemetryFacade(t *testing.T) {
 	}
 	defer tel.Close()
 
-	r := NewRunner(WithJobs(2), WithTelemetry(tel), WithServe("127.0.0.1:0"))
+	r := NewRunner(WithJobs(2), WithService("127.0.0.1:0", ServiceTelemetry(tel)))
 	defer r.Close()
 	addr, err := r.TelemetryAddr()
 	if err != nil {
