@@ -5,7 +5,10 @@
 # drift fails the build. Regenerate baselines after an intentional
 # behaviour change with: ./ci.sh -update-baselines
 # Finally the crash-recovery gate SIGKILLs a sweep mid-run and asserts a
-# -resume rerun reproduces the uninterrupted tables byte-for-byte.
+# -resume rerun reproduces the uninterrupted tables byte-for-byte, and the
+# soak gate repeatedly SIGKILLs and -resume-restarts the sweep *server*
+# under deterministic storage/network fault injection, asserting the
+# remote tables still come out byte-identical with no quarantine leaks.
 #
 # ./ci.sh bench [N] measures the pinned host-performance matrix into
 # BENCH_N.json (N defaults to one past the highest committed file) and
@@ -194,8 +197,9 @@ echo "ci: served sweep scraped clean with byte-identical tables ($done_jobs jobs
 # the client rides out the refused connections), complete the same work
 # after a -resume restart on the same cache, and answer a rerun entirely
 # from that cache. The scheduler and wire layers are concurrent;
-# re-check the package under the race detector.
-go test -race ./internal/service
+# re-check the package under the race detector (the fault injector too —
+# it sits on the hot path of both planes).
+go test -race ./internal/service ./internal/faultio
 echo "ci: sweep service gate"
 go build -o "$stats/dynamo-serve" ./cmd/dynamo-serve
 scache="$stats/service-cache"
@@ -228,5 +232,72 @@ cmp "$stats/fig7-want.txt" "$stats/fig7-remote2.txt"
 kill -TERM "$serve" 2>/dev/null || true
 wait "$serve" 2>/dev/null || true
 echo "ci: remote sweep survived a server restart with byte-identical tables"
+
+# Crash-restart soak gate: a remote quick sweep against a server running
+# with preemption AND deterministic storage/network fault injection, while
+# the server is repeatedly SIGKILLed (no graceful drain) and restarted
+# with -resume on the same cache. The client rides out the dead windows,
+# the checkpoints carry the in-flight work across each crash, and at the
+# end: tables byte-identical to the clean local baseline, zero quarantine
+# markers, and the queued/running gauges drained to zero.
+echo "ci: crash-restart soak gate (3 SIGKILL cycles under injected faults)"
+kcache="$stats/soak-cache"
+soak_server() {
+	# $1: listen address; $2: extra flag (-resume) or empty.
+	"$stats/dynamo-serve" -addr "$1" -cache-dir "$kcache" \
+		-ckpt-every 20000 -preempt \
+		-fault-seed 9 -fault-level 2 -fault-budget 40 \
+		$2 -quiet >"$stats/soak-addr.txt" 2>/dev/null &
+	soak=$!
+}
+soak_server 127.0.0.1:0 ""
+kaddr=""
+for _ in $(seq 1 50); do
+	kaddr=$(sed -n 's!^http://!!p' "$stats/soak-addr.txt" | head -1)
+	[ -n "$kaddr" ] && break
+	sleep 0.2
+done
+[ -n "$kaddr" ] || { echo "ci: soak server never announced an address" >&2; exit 1; }
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "" \
+	-remote "$kaddr" -remote-deadline 120s \
+	fig7 >"$stats/fig7-soak.txt" 2>/dev/null &
+ksweep=$!
+cycles=0
+while [ "$cycles" -lt 3 ]; do
+	sleep 1
+	if ! kill -0 "$ksweep" 2>/dev/null; then
+		echo "ci: soak sweep finished after $cycles kill cycle(s)"
+		break
+	fi
+	kill -9 "$soak" 2>/dev/null || true
+	wait "$soak" 2>/dev/null || true
+	cycles=$((cycles + 1))
+	echo "ci: soak kill cycle $cycles, restarting dynamo-serve with -resume"
+	soak_server "$kaddr" -resume
+done
+wait "$ksweep" || { echo "ci: soak sweep failed" >&2; exit 1; }
+cmp "$stats/fig7-want.txt" "$stats/fig7-soak.txt"
+leaked=$(find "$kcache" -name '*.failed.json' 2>/dev/null)
+[ -z "$leaked" ] || { echo "ci: soak leaked quarantine markers:" >&2; echo "$leaked" >&2; exit 1; }
+queued=-1
+running=-1
+for _ in $(seq 1 60); do
+	metrics=$(curl -fsS "http://$kaddr/metrics") || { sleep 0.5; continue; }
+	queued=$(echo "$metrics" | sed -n 's/^dynamo_sweep_jobs_queued \([0-9]*\)$/\1/p')
+	running=$(echo "$metrics" | sed -n 's/^dynamo_sweep_jobs_running \([0-9]*\)$/\1/p')
+	[ "$queued" = 0 ] && [ "$running" = 0 ] && break
+	sleep 0.5
+done
+[ "$queued" = 0 ] && [ "$running" = 0 ] || {
+	echo "ci: soak gauges never drained (queued=$queued running=$running)" >&2
+	exit 1
+}
+echo "$metrics" | grep -q '^dynamo_faultio_injected_total' || {
+	echo "ci: soak server exported no fault-injection counters" >&2
+	exit 1
+}
+kill -TERM "$soak" 2>/dev/null || true
+wait "$soak" 2>/dev/null || true
+echo "ci: soak survived $cycles SIGKILL cycle(s) under faults with byte-identical tables"
 
 echo "ci: OK"

@@ -68,6 +68,7 @@ func main() {
 	resume := cliflags.Resume(flag.CommandLine)
 	retries := cliflags.Retries(flag.CommandLine)
 	remote := flag.String("remote", "", "run simulations on a dynamo-serve sweep service at this address instead of locally")
+	remoteDeadline := flag.Duration("remote-deadline", 0, "with -remote, bound each remote job's wait and stamp sweeps with this wire deadline (0 = none)")
 	serve := cliflags.Serve(flag.CommandLine)
 	serveGrace := flag.Duration("serve-grace", 0, "with -serve, keep the telemetry endpoints up this long after the sweep finishes")
 	statsJSON := flag.String("stats-json", "", "write machine-readable sweep stats as JSON to this file")
@@ -115,17 +116,18 @@ func main() {
 	}()
 
 	opts := experiments.Options{
-		Threads:   *threads,
-		Seed:      *seed,
-		Scale:     *scale,
-		Workers:   *jobs,
-		CacheDir:  *cacheDir,
-		Retries:   *retries,
-		CkptEvery: *ckptEvery,
-		Resume:    *resume,
-		Interrupt: interrupt,
-		Log:       log.DebugWriter(),
-		Remote:    *remote,
+		Threads:        *threads,
+		Seed:           *seed,
+		Scale:          *scale,
+		Workers:        *jobs,
+		CacheDir:       *cacheDir,
+		Retries:        *retries,
+		CkptEvery:      *ckptEvery,
+		Resume:         *resume,
+		Interrupt:      interrupt,
+		Log:            log.DebugWriter(),
+		Remote:         *remote,
+		RemoteDeadline: *remoteDeadline,
 	}
 	if *remote != "" {
 		// The server owns the durable cache and the checkpoints; keeping a

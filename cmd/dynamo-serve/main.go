@@ -28,12 +28,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"syscall"
 
 	"dynamo/internal/cliflags"
+	"dynamo/internal/faultio"
 	"dynamo/internal/service"
 	"dynamo/internal/telemetry"
 )
@@ -45,6 +47,11 @@ func main() {
 	retries := cliflags.Retries(flag.CommandLine)
 	ckptEvery := cliflags.CkptEvery(flag.CommandLine)
 	resume := cliflags.Resume(flag.CommandLine)
+	preempt := flag.Bool("preempt", false, "time-slice long jobs across sweeps at checkpoint boundaries (use with -ckpt-every)")
+	maxQueued := flag.Int("max-queued", 0, "bound the admission queue: reject sweeps past this many pending jobs with HTTP 429 (0 = unbounded)")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault injector (with -fault-level)")
+	faultLevel := flag.Int("fault-level", 0, "inject storage and network faults at this intensity, 0 = off (testing only)")
+	faultBudget := flag.Int("fault-budget", -1, "stop injecting after this many faults (-1 = unlimited)")
 	verbose, quiet := cliflags.Verbosity(flag.CommandLine)
 	flag.Parse()
 
@@ -67,7 +74,12 @@ func main() {
 	tel := telemetry.NewSweep(topts)
 	defer tel.Close()
 
-	svc, err := service.New(service.Options{
+	// The deterministic fault injector (testing only): same seed, same
+	// faults. It wraps the storage plane here and the HTTP transport at
+	// Serve below, and exports its counts on /metrics.
+	var inj *faultio.Injector
+	var middleware []func(http.Handler) http.Handler
+	opts := service.Options{
 		CacheDir:  *cacheDir,
 		Jobs:      *jobs,
 		Retries:   *retries,
@@ -75,11 +87,21 @@ func main() {
 		Resume:    *resume,
 		Telemetry: tel,
 		Log:       log.DebugWriter(),
-	})
+		Preempt:   *preempt,
+		MaxQueued: *maxQueued,
+	}
+	if *faultLevel > 0 {
+		inj = faultio.New(faultio.Level(*faultSeed, *faultLevel, *faultBudget))
+		inj.Register(tel.Registry())
+		opts.FS = inj.WrapFS(faultio.OS{})
+		middleware = append(middleware, inj.WrapHandler)
+		log.Infof("dynamo-serve: fault injection on (seed %d, level %d, budget %d)", *faultSeed, *faultLevel, *faultBudget)
+	}
+	svc, err := service.New(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := service.Serve(*addr, svc)
+	srv, err := service.Serve(*addr, svc, middleware...)
 	if err != nil {
 		svc.Close()
 		log.Fatal(err)

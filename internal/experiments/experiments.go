@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"dynamo/internal/machine"
 	"dynamo/internal/runner"
@@ -61,6 +62,10 @@ type Options struct {
 	// simulation runs on the server and comes back as the server's
 	// cache-entry bytes, so the tables are byte-identical to a local run.
 	Remote string
+	// RemoteDeadline, when positive with Remote set, bounds every remote
+	// job's wait and rides along as the sweep's wire deadline, so the
+	// server abandons work this suite stopped watching.
+	RemoteDeadline time.Duration
 }
 
 func (o Options) fill() Options {
@@ -111,7 +116,9 @@ func NewSuite(o Options) *Suite {
 		Telemetry: o.Telemetry,
 	}
 	if o.Remote != "" {
-		ro.Execute = service.Dial(o.Remote).Execute
+		client := service.Dial(o.Remote)
+		client.Deadline = o.RemoteDeadline
+		ro.Execute = client.Execute
 	}
 	return &Suite{opts: o, r: runner.New(ro)}
 }

@@ -600,7 +600,11 @@ func (m *Machine) drive() (*Result, error) {
 		// Capture the final checkpoint before aborting: Abort mutates core
 		// state, so it must come second. Interrupted runs return the bare
 		// sentinel — the state is healthy and resumable, not diagnostic.
-		if m.Cfg.CkptSink != nil {
+		// Not while replaying, though: a checkpoint captured mid-replay
+		// sits at an earlier event than the one being replayed toward, and
+		// sinking it would regress the persisted checkpoint — under rapid
+		// preemption, far enough to livelock the job.
+		if m.Cfg.CkptSink != nil && !rs.replaying {
 			if ck, err := m.captureCheckpoint(); err == nil {
 				m.Cfg.CkptSink(ck)
 			}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"dynamo/internal/checkpoint"
+	"dynamo/internal/faultio"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs/profile"
 )
@@ -49,16 +51,22 @@ func DecodeEntry(data []byte) (*Outcome, time.Duration, error) {
 }
 
 // store is the persistent result cache. A nil store (no cache directory)
-// never hits and never writes.
+// never hits and never writes. All disk traffic funnels through fs — the
+// seam the deterministic fault injector wraps; the default is the real,
+// fsync-hardened filesystem (faultio.OS).
 type store struct {
 	dir string
+	fs  faultio.FS
 }
 
-func newStore(dir string) *store {
+func newStore(dir string, fs faultio.FS) *store {
 	if dir == "" {
 		return nil
 	}
-	return &store{dir: dir}
+	if fs == nil {
+		fs = faultio.OS{}
+	}
+	return &store{dir: dir, fs: fs}
 }
 
 func (s *store) path(digest string) string {
@@ -85,7 +93,7 @@ func (s *store) load(q Request) (*Outcome, time.Duration, error) {
 		return nil, 0, os.ErrNotExist
 	}
 	path := s.path(q.Digest())
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, 0, os.ErrNotExist
 	}
@@ -101,42 +109,25 @@ func (s *store) load(q Request) (*Outcome, time.Duration, error) {
 }
 
 func (s *store) evict(path string) error {
-	os.Remove(path)
+	s.fs.Remove(path)
 	return errEvicted
 }
 
-// writeAtomic writes data to path through a temporary file in the cache
-// directory plus a rename, so a concurrent reader sees either the old
-// file or the complete new one, never a partial write.
+// writeAtomic writes data to path through the store's file plane: a temp
+// file in the cache directory, fsync, then rename (see
+// faultio.OS.WriteFileAtomic for the durability discipline), so a
+// concurrent reader — or a post-crash restart — sees either the old file
+// or the complete new one, never a partial write.
 func (s *store) writeAtomic(path string, data []byte) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return fmt.Errorf("runner: creating cache dir: %w", err)
-	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fs.WriteFileAtomic(s.dir, path, data); err != nil {
 		return fmt.Errorf("runner: writing %s: %w", filepath.Base(path), err)
 	}
 	return nil
 }
 
-// save persists an outcome atomically.
-func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
-	if s == nil {
-		return nil
-	}
+// encodeEntry renders the canonical persisted-cache document for a
+// finished job: the exact bytes save writes and /v1/jobs/{digest} serves.
+func encodeEntry(q Request, out *Outcome, elapsed time.Duration) ([]byte, error) {
 	e := entry{
 		Schema:    entrySchema,
 		Meta:      q.meta(),
@@ -146,15 +137,27 @@ func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
 	}
 	data, err := json.MarshalIndent(&e, "", "  ")
 	if err != nil {
-		return fmt.Errorf("runner: encoding cache entry: %w", err)
+		return nil, fmt.Errorf("runner: encoding cache entry: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// save persists an outcome atomically.
+func (s *store) save(q Request, out *Outcome, elapsed time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	data, err := encodeEntry(q, out, elapsed)
+	if err != nil {
+		return err
 	}
 	digest := q.Digest()
-	if err := s.writeAtomic(s.path(digest), append(data, '\n')); err != nil {
+	if err := s.writeAtomic(s.path(digest), data); err != nil {
 		return err
 	}
 	// A successful run supersedes any quarantine marker from an earlier
 	// failed attempt (e.g. after a simulator fix).
-	os.Remove(s.failedPath(digest))
+	s.fs.Remove(s.failedPath(digest))
 	return nil
 }
 
@@ -204,11 +207,11 @@ func (s *store) claimFailed(digest string) (*failedEntry, bool) {
 	os.Remove(claim)
 	// Rename is atomic: of N concurrent claimers each renaming the marker
 	// to its own unique name, exactly one succeeds.
-	if err := os.Rename(s.failedPath(digest), claim); err != nil {
+	if err := s.fs.Rename(s.failedPath(digest), claim); err != nil {
 		return nil, false
 	}
 	defer os.Remove(claim)
-	data, err := os.ReadFile(claim)
+	data, err := s.fs.ReadFile(claim)
 	if err != nil {
 		return nil, true
 	}
@@ -243,18 +246,17 @@ func (s *store) loadCkpt(q Request) (*checkpoint.Checkpoint, error) {
 	}
 	digest := q.Digest()
 	path := s.ckptPath(digest)
-	f, err := os.Open(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		return nil, os.ErrNotExist
 	}
-	defer f.Close()
-	ck, err := checkpoint.Read(f)
+	ck, err := checkpoint.Read(bytes.NewReader(data))
 	if err != nil {
-		os.Remove(path)
+		s.fs.Remove(path)
 		return nil, err
 	}
 	if err := ck.Compatible(digest); err != nil {
-		os.Remove(path)
+		s.fs.Remove(path)
 		return nil, err
 	}
 	return ck, nil
@@ -266,7 +268,7 @@ func (s *store) removeCkpt(digest string) {
 	if s == nil {
 		return
 	}
-	os.Remove(s.ckptPath(digest))
+	s.fs.Remove(s.ckptPath(digest))
 }
 
 func metaEqual(a, b map[string]string) bool {

@@ -105,7 +105,7 @@ func TestDeterministicFailureNotRetried(t *testing.T) {
 // marker.
 func TestQuarantineClaimIsExclusive(t *testing.T) {
 	dir := t.TempDir()
-	s := newStore(dir)
+	s := newStore(dir, nil)
 	q := quick()
 	if err := s.quarantine(q, errors.New("old failure"), 5); err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestResumeFromCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newStore(dir)
+	s := newStore(dir, nil)
 	if err := s.saveCkpt(digest, ck); err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestResumeFallsBackWhenReplayDiverges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newStore(dir)
+	s := newStore(dir, nil)
 	if err := s.saveCkpt(digest, ck); err != nil {
 		t.Fatal(err)
 	}

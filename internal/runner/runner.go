@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dynamo/internal/checkpoint"
+	"dynamo/internal/faultio"
 	"dynamo/internal/machine"
 	"dynamo/internal/obs/profile"
 	"dynamo/internal/telemetry"
@@ -63,6 +64,11 @@ type Options struct {
 	// Checkpoint capture and resume are skipped — whoever executes owns
 	// them.
 	Execute func(Request) (*Outcome, error)
+	// FS, when non-nil, replaces the file plane beneath the persistent
+	// cache (results, checkpoints, quarantine markers) — the seam the
+	// deterministic faultio injector wraps. Nil selects the real,
+	// fsync-hardened filesystem.
+	FS faultio.FS
 }
 
 // Outcome is a completed job's reports.
@@ -96,10 +102,13 @@ type Stats struct {
 	Evictions uint64
 	// Retries counts re-executions of transiently failed jobs; Resumed
 	// counts jobs restored from a persisted checkpoint; Interrupted
-	// counts jobs cancelled by Options.Interrupt.
+	// counts jobs cancelled by Options.Interrupt; Preempted counts jobs
+	// that cooperatively yielded at a checkpoint boundary (Task.Preempt)
+	// and will resume on their next submission.
 	Retries     uint64
 	Resumed     uint64
 	Interrupted uint64
+	Preempted   uint64
 	// Saved is the recorded simulation time of every disk hit.
 	Saved time.Duration
 	// SimEvents totals the kernel events executed by jobs this process
@@ -116,6 +125,13 @@ func (s Stats) Simulated() uint64 { return s.Misses }
 // ErrJobPanicked marks a job whose simulation panicked; the runner
 // recovered, quarantined the job, and kept the rest of the sweep alive.
 var ErrJobPanicked = errors.New("runner: job panicked")
+
+// ErrPreempted marks a job that cooperatively yielded at a checkpoint
+// boundary after Task.Preempt: not failed, not cancelled — its persisted
+// checkpoint resumes it on the next submission of the same request, even
+// without Options.Resume. The sweep service's dispatcher uses this to
+// time-slice long jobs across competing sweeps.
+var ErrPreempted = errors.New("runner: job preempted")
 
 // JobError is a failed job: the request that failed and why. Sweep code
 // matches causes through it with errors.Is/As (machine.ErrTimeout,
@@ -151,21 +167,35 @@ func (r *Runner) safeExecute(q Request, x execCtx) (out *Outcome, err error) {
 
 // Task is a submitted job's handle.
 type Task struct {
-	req  Request
-	done chan struct{}
-	out  *Outcome
-	err  error
-	jt   *telemetry.Job // nil unless telemetry is enabled
+	req     Request
+	done    chan struct{}
+	out     *Outcome
+	err     error
+	elapsed time.Duration  // wall-clock of the run (or of the original, for disk hits)
+	jt      *telemetry.Job // nil unless telemetry is enabled
 	// interrupt, when non-nil, cancels just this task (see
 	// SubmitInterruptible); the runner-wide Options.Interrupt still
 	// applies on top.
 	interrupt <-chan struct{}
+	// preempt asks a running task to yield at its next checkpoint
+	// boundary; unlike interrupt it marks the job resumable-by-default.
+	preempt     chan struct{}
+	preemptOnce sync.Once
 }
 
 // Wait blocks until the job completes and returns its outcome.
 func (t *Task) Wait() (*Outcome, error) {
 	<-t.done
 	return t.out, t.err
+}
+
+// Preempt asks a running task to cooperatively yield: the machine stops
+// at its next interrupt poll, persists a final checkpoint (when
+// checkpointing is on), and the task completes with ErrPreempted. The
+// next submission of the same request resumes from that checkpoint.
+// Idempotent; a no-op on a task that already finished.
+func (t *Task) Preempt() {
+	t.preemptOnce.Do(func() { close(t.preempt) })
 }
 
 // Runner is the sweep engine. Submissions with equal request digests
@@ -185,6 +215,10 @@ type Runner struct {
 	order  []*Task
 	failed []*JobError
 	stats  Stats
+	// resumeNext marks digests whose last task was preempted: their next
+	// submission loads the persisted checkpoint even without
+	// Options.Resume, so a time-sliced job continues instead of restarting.
+	resumeNext map[string]struct{}
 }
 
 // New builds a runner.
@@ -193,11 +227,12 @@ func New(opts Options) *Runner {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
 	r := &Runner{
-		opts:  opts,
-		store: newStore(opts.CacheDir),
-		sem:   make(chan struct{}, opts.Jobs),
-		tel:   opts.Telemetry,
-		tasks: make(map[string]*Task),
+		opts:       opts,
+		store:      newStore(opts.CacheDir, opts.FS),
+		sem:        make(chan struct{}, opts.Jobs),
+		tel:        opts.Telemetry,
+		tasks:      make(map[string]*Task),
+		resumeNext: make(map[string]struct{}),
 	}
 	if opts.ServeAddr != "" && r.tel == nil {
 		r.tel = telemetry.NewSweep(telemetry.SweepOptions{})
@@ -277,7 +312,7 @@ func (r *Runner) submit(req Request, interrupt <-chan struct{}) *Task {
 		r.tel.JobDeduped()
 		return t
 	}
-	t := &Task{req: req, done: make(chan struct{}), interrupt: interrupt}
+	t := &Task{req: req, done: make(chan struct{}), interrupt: interrupt, preempt: make(chan struct{})}
 	if r.tel.Enabled() {
 		// Guarded so the request never renders when telemetry is off.
 		t.jt = r.tel.StartJob(digest, req.String())
@@ -293,14 +328,16 @@ func (r *Runner) submit(req Request, interrupt <-chan struct{}) *Task {
 
 // replayable reports whether a memoized task's answer is no answer at
 // all: a job that terminated with machine.ErrInterrupted was cancelled,
-// not computed, so a later submission of the same request replaces it
-// with a fresh task instead of replaying the cancellation. A long-running
-// sweep service depends on this — cancelling one sweep must not poison
-// the same request for every future sweep.
+// not computed — and a preempted job merely yielded its slice — so a
+// later submission of the same request replaces it with a fresh task
+// instead of replaying the cancellation. A long-running sweep service
+// depends on this — cancelling one sweep must not poison the same
+// request for every future sweep, and a preempted job must be
+// re-submittable to continue.
 func replayable(t *Task) bool {
 	select {
 	case <-t.done:
-		return errors.Is(t.err, machine.ErrInterrupted)
+		return errors.Is(t.err, machine.ErrInterrupted) || errors.Is(t.err, ErrPreempted)
 	default:
 		return false
 	}
@@ -437,6 +474,7 @@ func (r *Runner) run(t *Task) {
 		r.stats.Saved += elapsed
 		r.mu.Unlock()
 		t.out = out
+		t.elapsed = elapsed
 		r.tel.JobCached(elapsed)
 		t.jt.Done(telemetry.OutcomeCached, 0, nil)
 		r.logf(t, "cached %s (saved %s)", t.req, elapsed.Round(time.Millisecond))
@@ -449,8 +487,17 @@ func (r *Runner) run(t *Task) {
 	}
 
 	digest := t.req.Digest()
-	intr := mergeInterrupt(r.opts.Interrupt, t.interrupt, t.done)
+	// Two interrupt tiers: cancel (sweep-wide or per-task) abandons the
+	// job; preempt merely asks it to yield its slice. The machine watches
+	// their merge — both stop it at a checkpoint boundary — and the
+	// classification below tells them apart by polling the cancel sources.
+	cancel := mergeInterrupt(r.opts.Interrupt, t.interrupt, t.done)
+	intr := mergeInterrupt(cancel, t.preempt, t.done)
 	x := execCtx{interrupt: intr}
+	r.mu.Lock()
+	_, resumeOnce := r.resumeNext[digest]
+	delete(r.resumeNext, digest)
+	r.mu.Unlock()
 	if r.store != nil && r.opts.Execute == nil {
 		x.identity = digest
 		if r.opts.CkptEvery > 0 {
@@ -461,7 +508,7 @@ func (r *Runner) run(t *Task) {
 				}
 			}
 		}
-		if r.opts.Resume {
+		if r.opts.Resume || resumeOnce {
 			switch ck, err := r.store.loadCkpt(t.req); {
 			case err == nil:
 				x.resume = ck
@@ -489,10 +536,11 @@ func (r *Runner) run(t *Task) {
 	}
 
 	r.sem <- struct{}{}
-	if interruptedNow(intr) {
+	if r.cancelledNow(t) {
 		// The sweep (or this job's own sweep) was cancelled while it sat
 		// in the queue; its persisted checkpoint (if any) stays put for
-		// the next resume.
+		// the next resume. A pending preempt alone does not abort a queued
+		// job — it runs and yields at its first checkpoint poll.
 		<-r.sem
 		r.finishInterrupted(t, true)
 		return
@@ -542,7 +590,11 @@ func (r *Runner) run(t *Task) {
 	r.tel.JobRunDone()
 
 	if errors.Is(runErr, machine.ErrInterrupted) {
-		r.finishInterrupted(t, false)
+		if r.cancelledNow(t) {
+			r.finishInterrupted(t, false)
+		} else {
+			r.finishPreempted(t)
+		}
 		return
 	}
 	if runErr != nil {
@@ -573,6 +625,7 @@ func (r *Runner) run(t *Task) {
 	r.stats.SimTime += elapsed
 	r.mu.Unlock()
 	t.out = out
+	t.elapsed = elapsed
 	r.tel.JobSucceeded(elapsed, out.Result.SimEvents)
 	t.jt.Done(telemetry.OutcomeOK, out.Result.SimEvents, nil)
 	r.store.removeCkpt(digest)
@@ -597,6 +650,63 @@ func (r *Runner) finishInterrupted(t *Task, fromQueue bool) {
 	r.tel.JobInterrupted(fromQueue)
 	t.jt.Done(telemetry.OutcomeInterrupted, 0, machine.ErrInterrupted)
 	r.logf(t, "interrupted %s", t.req)
+}
+
+// cancelledNow polls the job's cancellation sources directly — not the
+// merged channel the machine watches, whose closing goroutine may lag
+// the source by a scheduling quantum.
+func (r *Runner) cancelledNow(t *Task) bool {
+	return interruptedNow(r.opts.Interrupt) || interruptedNow(t.interrupt)
+}
+
+// finishPreempted records a job that cooperatively yielded: it reports
+// ErrPreempted through its task and marks its digest to resume from the
+// persisted checkpoint on the next submission. Like a cancelled job it is
+// neither quarantined nor an error — but unlike one, yielding was the
+// runner's own scheduling decision, so the resume is automatic.
+func (r *Runner) finishPreempted(t *Task) {
+	je := &JobError{Request: t.req, Err: ErrPreempted}
+	r.mu.Lock()
+	r.stats.Preempted++
+	r.resumeNext[t.req.Digest()] = struct{}{}
+	r.mu.Unlock()
+	t.err = je
+	r.tel.JobPreempted()
+	t.jt.Done(telemetry.OutcomePreempted, 0, ErrPreempted)
+	r.logf(t, "preempted %s (resumes on next submit)", t.req)
+}
+
+// EntryBytes returns the canonical persisted-cache document for a job
+// this runner completed successfully — the same bytes save wrote. When
+// the on-disk copy was lost or corrupted (a crash, a full disk, an
+// injected fault), the document is re-materialized from the in-memory
+// outcome and best-effort re-persisted, healing the cache. Returns
+// os.ErrNotExist when the digest names no finished successful job.
+func (r *Runner) EntryBytes(digest string) ([]byte, error) {
+	r.mu.Lock()
+	t := r.tasks[digest]
+	r.mu.Unlock()
+	if t == nil {
+		return nil, os.ErrNotExist
+	}
+	select {
+	case <-t.done:
+	default:
+		return nil, os.ErrNotExist
+	}
+	if t.err != nil || t.out == nil {
+		return nil, os.ErrNotExist
+	}
+	data, err := encodeEntry(t.req, t.out, t.elapsed)
+	if err != nil {
+		return nil, err
+	}
+	if r.store != nil {
+		if werr := r.store.writeAtomic(r.store.path(digest), data); werr != nil {
+			r.logf(t, "cache heal failed: %v", werr)
+		}
+	}
+	return data, nil
 }
 
 func (r *Runner) logf(t *Task, format string, args ...any) {

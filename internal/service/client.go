@@ -2,10 +2,12 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"syscall"
@@ -17,6 +19,11 @@ import (
 	"dynamo/internal/workload"
 )
 
+// ErrWaitTimeout marks a Wait (or Execute) that ran out of its deadline
+// before the sweep turned terminal. The sweep keeps running server-side;
+// only the caller stopped watching.
+var ErrWaitTimeout = errors.New("service: wait deadline exceeded")
+
 // Client talks to a sweep service. The zero-value fields of Dial's result
 // are tuned for a local server; all are exported for overriding.
 type Client struct {
@@ -24,14 +31,27 @@ type Client struct {
 	Base string
 	// HTTP is the transport (http.DefaultClient when nil).
 	HTTP *http.Client
-	// Retries bounds transport-error retries per call — a server
-	// mid-restart is retried (refused, reset or dropped connections),
-	// any other failure is not. Backoff is the first retry's delay,
-	// doubling per retry.
+	// Retries bounds per-call retries: transport errors from a server
+	// mid-restart (refused, reset or dropped connections), 429-overloaded
+	// and 503-draining responses. Any other failure is not retried.
+	// Every endpoint is idempotent — submissions dedupe by content digest
+	// — so re-sending a request whose fate is unknown is safe.
 	Retries int
-	Backoff time.Duration
+	// Backoff is the first retry's delay; each further retry doubles it,
+	// jittered into [d/2, d] so a fleet of rejected clients does not
+	// re-stampede in phase, and capped at MaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
 	// Poll is the status-poll interval for Wait and Execute.
 	Poll time.Duration
+	// Deadline, when positive, bounds every Wait and Execute call
+	// (ErrWaitTimeout past it) and is stamped on submitted sweeps as the
+	// wire deadline_seconds, so the server abandons work the caller will
+	// never collect.
+	Deadline time.Duration
+	// Resubmits bounds Execute's self-healing resubmissions when a
+	// result document was lost to a crash or storage fault (default 3).
+	Resubmits int
 }
 
 // Dial builds a client for addr ("host:port", scheme optional).
@@ -40,25 +60,32 @@ func Dial(addr string) *Client {
 		addr = "http://" + addr
 	}
 	return &Client{
-		Base:    strings.TrimRight(addr, "/"),
-		Retries: 5,
-		Backoff: 100 * time.Millisecond,
-		Poll:    25 * time.Millisecond,
+		Base:       strings.TrimRight(addr, "/"),
+		Retries:    5,
+		Backoff:    100 * time.Millisecond,
+		MaxBackoff: 2 * time.Second,
+		Poll:       25 * time.Millisecond,
+		Resubmits:  3,
 	}
 }
 
 // retryable reports whether a transport error is worth retrying: the
 // signatures of a server that is still binding, restarting, or shutting
 // down under the caller (refused, reset, or a keep-alive connection the
-// server closed as the request was written). Every endpoint is
-// idempotent — submissions dedupe by content digest — so re-sending a
-// request whose fate is unknown is safe.
+// server closed as the request was written).
 func retryable(err error) bool {
 	return errors.Is(err, syscall.ECONNREFUSED) ||
 		errors.Is(err, syscall.ECONNRESET) ||
 		errors.Is(err, syscall.EPIPE) ||
 		errors.Is(err, io.EOF) ||
 		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// retryStatus reports whether an HTTP status says "come back later"
+// rather than "you are wrong": 429 is the bounded admission queue
+// pushing back, 503 a draining server about to restart.
+func retryStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
 }
 
 // kindErr maps a WireError.Kind back to its sentinel, so client-side
@@ -78,13 +105,46 @@ func kindErr(kind string) error {
 		return ErrNotFound
 	case "draining":
 		return ErrDraining
+	case "overloaded":
+		return ErrOverloaded
 	}
 	return nil
 }
 
-// do performs one call. When out is a *[]byte the raw body is returned;
-// otherwise the body is decoded into out (nil discards it).
-func (c *Client) do(method, path string, body, out any) error {
+// delay returns the jittered backoff before retry number attempt
+// (0-based): Backoff doubled per retry, capped at MaxBackoff, then drawn
+// uniformly from [d/2, d].
+func (c *Client) delay(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << attempt
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx pauses for d, returning false early when ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// do performs one call under ctx. When out is a *[]byte the raw body is
+// returned; otherwise the body is decoded into out (nil discards it).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -97,8 +157,9 @@ func (c *Client) do(method, path string, body, out any) error {
 		hc = http.DefaultClient
 	}
 	var resp *http.Response
+	var data []byte
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequest(method, c.Base+path, bytes.NewReader(payload))
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("service: %s %s: %w", method, path, err)
 		}
@@ -106,18 +167,39 @@ func (c *Client) do(method, path string, body, out any) error {
 			req.Header.Set("Content-Type", "application/json")
 		}
 		resp, err = hc.Do(req)
-		if err == nil {
-			break
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("service: %s %s: %w", method, path, ctx.Err())
+			}
+			if attempt >= c.Retries || !retryable(err) {
+				return fmt.Errorf("service: %s %s: %w", method, path, err)
+			}
+			if !sleepCtx(ctx, c.delay(attempt)) {
+				return fmt.Errorf("service: %s %s: %w", method, path, ctx.Err())
+			}
+			continue
 		}
-		if attempt >= c.Retries || !retryable(err) {
-			return fmt.Errorf("service: %s %s: %w", method, path, err)
+		data, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("service: reading %s %s: %w", method, path, ctx.Err())
+			}
+			if attempt >= c.Retries || !retryable(err) {
+				return fmt.Errorf("service: reading %s %s: %w", method, path, err)
+			}
+			if !sleepCtx(ctx, c.delay(attempt)) {
+				return fmt.Errorf("service: %s %s: %w", method, path, ctx.Err())
+			}
+			continue
 		}
-		time.Sleep(c.Backoff << attempt)
-	}
-	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if err != nil {
-		return fmt.Errorf("service: reading %s %s: %w", method, path, err)
+		if retryStatus(resp.StatusCode) && attempt < c.Retries {
+			if !sleepCtx(ctx, c.delay(attempt)) {
+				return fmt.Errorf("service: %s %s: %w", method, path, ctx.Err())
+			}
+			continue
+		}
+		break
 	}
 	if resp.StatusCode/100 != 2 {
 		var eb ErrorBody
@@ -143,12 +225,20 @@ func (c *Client) do(method, path string, body, out any) error {
 	}
 }
 
-// Submit sends one sweep and returns its initial status.
+// Submit sends one sweep and returns its initial status. The client's
+// Deadline, when set, rides along as the sweep's wire deadline.
 func (c *Client) Submit(reqs ...runner.Request) (*SweepStatus, error) {
+	return c.SubmitContext(context.Background(), reqs...)
+}
+
+// SubmitContext is Submit bounded by ctx.
+func (c *Client) SubmitContext(ctx context.Context, reqs ...runner.Request) (*SweepStatus, error) {
+	body := SubmitRequest{Schema: runner.WireSchema, Requests: reqs}
+	if c.Deadline > 0 {
+		body.DeadlineSeconds = c.Deadline.Seconds()
+	}
 	var st SweepStatus
-	err := c.do(http.MethodPost, "/v1/sweeps",
-		SubmitRequest{Schema: runner.WireSchema, Requests: reqs}, &st)
-	if err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", body, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -156,8 +246,13 @@ func (c *Client) Submit(reqs ...runner.Request) (*SweepStatus, error) {
 
 // Status fetches a sweep's current standing.
 func (c *Client) Status(id string) (*SweepStatus, error) {
+	return c.StatusContext(context.Background(), id)
+}
+
+// StatusContext is Status bounded by ctx.
+func (c *Client) StatusContext(ctx context.Context, id string) (*SweepStatus, error) {
 	var st SweepStatus
-	if err := c.do(http.MethodGet, "/v1/sweeps/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -165,18 +260,40 @@ func (c *Client) Status(id string) (*SweepStatus, error) {
 
 // Cancel cancels a sweep (idempotent) and returns its status.
 func (c *Client) Cancel(id string) (*SweepStatus, error) {
+	return c.CancelContext(context.Background(), id)
+}
+
+// CancelContext is Cancel bounded by ctx.
+func (c *Client) CancelContext(ctx context.Context, id string) (*SweepStatus, error) {
 	var st SweepStatus
-	if err := c.do(http.MethodDelete, "/v1/sweeps/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
-// Wait polls a sweep until it reaches a terminal state.
+// Wait polls a sweep until it reaches a terminal state, bounded by the
+// client's Deadline when one is set: past it, Wait returns a typed
+// ErrWaitTimeout instead of polling a stalled service forever.
 func (c *Client) Wait(id string) (*SweepStatus, error) {
+	ctx := context.Background()
+	if c.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Deadline)
+		defer cancel()
+	}
+	return c.WaitContext(ctx, id)
+}
+
+// WaitContext polls a sweep until it turns terminal or ctx ends
+// (ErrWaitTimeout).
+func (c *Client) WaitContext(ctx context.Context, id string) (*SweepStatus, error) {
 	for {
-		st, err := c.Status(id)
+		st, err := c.StatusContext(ctx, id)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("%w: sweep %s: %v", ErrWaitTimeout, id, ctx.Err())
+			}
 			return nil, err
 		}
 		if st.Terminal() {
@@ -186,15 +303,22 @@ func (c *Client) Wait(id string) (*SweepStatus, error) {
 		if poll <= 0 {
 			poll = 25 * time.Millisecond
 		}
-		time.Sleep(poll)
+		if !sleepCtx(ctx, poll) {
+			return nil, fmt.Errorf("%w: sweep %s: %v", ErrWaitTimeout, id, ctx.Err())
+		}
 	}
 }
 
 // ResultBytes fetches a finished job's raw cache document — the exact
 // bytes of the server-side <cacheDir>/<digest>.json.
 func (c *Client) ResultBytes(digest string) ([]byte, error) {
+	return c.ResultBytesContext(context.Background(), digest)
+}
+
+// ResultBytesContext is ResultBytes bounded by ctx.
+func (c *Client) ResultBytesContext(ctx context.Context, digest string) ([]byte, error) {
 	var data []byte
-	if err := c.do(http.MethodGet, "/v1/jobs/"+digest, nil, &data); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+digest, nil, &data); err != nil {
 		return nil, err
 	}
 	return data, nil
@@ -203,7 +327,7 @@ func (c *Client) ResultBytes(digest string) ([]byte, error) {
 // Span fetches a finished job's trace span.
 func (c *Client) Span(digest string) (*Span, error) {
 	var sp Span
-	if err := c.do(http.MethodGet, "/v1/jobs/"+digest+"/span", nil, &sp); err != nil {
+	if err := c.do(context.Background(), http.MethodGet, "/v1/jobs/"+digest+"/span", nil, &sp); err != nil {
 		return nil, err
 	}
 	return &sp, nil
@@ -213,30 +337,67 @@ func (c *Client) Span(digest string) (*Span, error) {
 // shaped to plug into runner.Options.Execute, so a local runner keeps
 // its pool, dedupe, stats and telemetry semantics while every actual
 // simulation happens on the server.
+//
+// Execute self-heals across whole-sweep loss: when the server crashed
+// between admitting the sweep and persisting its result — the sweep id
+// vanished, or the job finished but its result document was lost or
+// corrupted — the request is resubmitted (bounded by Resubmits).
+// Submissions dedupe by content digest, so a resubmission is free when
+// the result actually survived.
 func (c *Client) Execute(q runner.Request) (*runner.Outcome, error) {
+	resubmits := c.Resubmits
+	if resubmits < 0 {
+		resubmits = 0
+	}
+	var lastErr error
+	for attempt := 0; attempt <= resubmits; attempt++ {
+		out, retryAgain, err := c.executeOnce(q)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retryAgain {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// executeOnce submits, waits, and fetches one request's result. The
+// middle return reports whether a resubmission could heal the failure.
+func (c *Client) executeOnce(q runner.Request) (*runner.Outcome, bool, error) {
 	st, err := c.Submit(q)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if st, err = c.Wait(st.ID); err != nil {
-		return nil, err
+		// A sweep id the server no longer knows means it restarted before
+		// persisting the sweep document; resubmitting recreates the work.
+		return nil, errors.Is(err, ErrNotFound), err
 	}
 	if len(st.Jobs) != 1 {
-		return nil, fmt.Errorf("service: sweep %s: expected 1 job, got %d", st.ID, len(st.Jobs))
+		return nil, false, fmt.Errorf("service: sweep %s: expected 1 job, got %d", st.ID, len(st.Jobs))
 	}
 	j := st.Jobs[0]
 	switch j.State {
 	case JobDone:
 		data, err := c.ResultBytes(j.Digest)
 		if err != nil {
-			return nil, err
+			// Done without a readable document: the result file was lost
+			// to a crash or storage fault. A resubmission re-runs it.
+			return nil, errors.Is(err, ErrNotFound), err
 		}
-		out, _, err := runner.DecodeEntry(data)
-		return out, err
+		out, _, derr := runner.DecodeEntry(data)
+		if derr != nil {
+			return nil, true, derr
+		}
+		return out, false, nil
 	case JobFailed:
-		return nil, fmt.Errorf("service: remote job %s failed: %s", j.Digest, j.Error)
+		return nil, false, fmt.Errorf("service: remote job %s failed: %s", j.Digest, j.Error)
 	case JobCancelled:
-		return nil, fmt.Errorf("service: remote job %s: %w", j.Digest, machine.ErrInterrupted)
+		return nil, false, fmt.Errorf("service: remote job %s: %w", j.Digest, machine.ErrInterrupted)
+	case JobExpired:
+		return nil, false, fmt.Errorf("service: remote job %s: %w (sweep deadline passed)", j.Digest, ErrWaitTimeout)
 	}
-	return nil, fmt.Errorf("service: job %s ended in state %q", j.Digest, j.State)
+	return nil, false, fmt.Errorf("service: job %s ended in state %q", j.Digest, j.State)
 }

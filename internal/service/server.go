@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"time"
@@ -28,8 +29,10 @@ type Server struct {
 }
 
 // Serve binds addr (host:port; ":0" picks a free port) and serves svc
-// until Close. Listen errors surface here.
-func Serve(addr string, svc *Service) (*Server, error) {
+// until Close. Listen errors surface here. Optional middleware wraps the
+// whole mux, outermost first — the fault injector's WrapHandler plugs in
+// here to perturb the served transport without touching the routes.
+func Serve(addr string, svc *Service, middleware ...func(http.Handler) http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("service: listening on %s: %w", addr, err)
@@ -43,7 +46,11 @@ func Serve(addr string, svc *Service) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{digest}/span", srv.getJobSpan)
 	telemetry.Mount(mux, svc.Telemetry())
 	mux.HandleFunc("/", srv.index)
-	srv.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	var h http.Handler = mux
+	for i := len(middleware) - 1; i >= 0; i-- {
+		h = middleware[i](h)
+	}
+	srv.http = &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.http.Serve(ln)
 	return srv, nil
 }
@@ -82,6 +89,8 @@ func kindOf(err error) string {
 		return "not-found"
 	case errors.Is(err, ErrDraining):
 		return "draining"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
 	default:
 		return "bad-request"
 	}
@@ -94,6 +103,8 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusBadRequest
 	}
@@ -131,7 +142,20 @@ func (s *Server) postSweeps(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	st, err := s.svc.Submit(req.Requests)
+	if d := req.DeadlineSeconds; d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		writeError(w, &runner.FieldError{
+			Field: "deadline_seconds", Value: fmt.Sprint(d),
+			Err: fmt.Errorf("%w: deadline must be a non-negative finite number of seconds", runner.ErrBadField),
+		})
+		return
+	}
+	if err := r.Context().Err(); err != nil {
+		// The client went away while the body was read; admitting the
+		// sweep anyway would run work nobody will collect.
+		writeError(w, fmt.Errorf("service: request abandoned: %w", err))
+		return
+	}
+	st, err := s.svc.SubmitDeadline(req.Requests, time.Duration(req.DeadlineSeconds*float64(time.Second)))
 	if err != nil {
 		writeError(w, err)
 		return

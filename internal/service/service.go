@@ -14,7 +14,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"dynamo/internal/faultio"
 	"dynamo/internal/machine"
 	"dynamo/internal/runner"
 	"dynamo/internal/telemetry"
@@ -28,6 +30,11 @@ var ErrDraining = errors.New("service: draining, not accepting sweeps")
 
 // ErrEmptySweep rejects a submission with no requests.
 var ErrEmptySweep = errors.New("service: a sweep needs at least one request")
+
+// ErrOverloaded rejects a submission the bounded admission queue cannot
+// hold (HTTP 429 on the wire, kind "overloaded"). Backpressure, not
+// failure: the client's jittered backoff retries it.
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
 
 // Options configures a Service.
 type Options struct {
@@ -48,6 +55,26 @@ type Options struct {
 	Telemetry *telemetry.Sweep
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// MaxQueued bounds admitted-but-unfinished jobs across live sweeps —
+	// the admission queue. A submission that would push past it is
+	// rejected with ErrOverloaded before any of its jobs are admitted
+	// (all-or-nothing, like validation). Zero means unbounded.
+	MaxQueued int
+	// Preempt enables checkpoint-based time-slicing: when the pool is
+	// full and some live sweep is starved (queued work, nothing running),
+	// one running job from the best-fed sweep is asked to yield at its
+	// next checkpoint boundary, re-queues, and later resumes from its
+	// persisted checkpoint. Requires CkptEvery > 0 to preserve progress;
+	// without it a preempted job restarts from event zero.
+	Preempt bool
+	// PreemptSlice is the minimum time a job runs before it may be
+	// preempted (default 500ms). A floor, not a quantum: preemption only
+	// triggers on starvation, and the floor keeps rapid re-preemption
+	// from eating a resumed job's replay time.
+	PreemptSlice time.Duration
+	// FS replaces the file plane beneath the sweep documents and the
+	// runner's cache (fault injection); nil selects the real filesystem.
+	FS faultio.FS
 }
 
 // job is one distinct request inside a sweep. Requests in a batch that
@@ -55,9 +82,16 @@ type Options struct {
 type job struct {
 	req    runner.Request
 	digest string
+	idx    int // position in sweepState.jobs, for cursor rewind
 	state  string
 	cached bool
 	errMsg string
+	// task is the in-flight runner task while state is JobRunning;
+	// preempting marks a yield request already sent; startedAt is when
+	// the job was admitted (the preemption floor measures from here).
+	task       *runner.Task
+	preempting bool
+	startedAt  time.Time
 }
 
 // sweepState is one submitted sweep: its distinct jobs in admission
@@ -68,6 +102,11 @@ type sweepState struct {
 	entries   []*job
 	next      int // admission cursor into jobs
 	cancelled bool
+	// deadline, when nonzero, is the absolute instant the sweep expires;
+	// timer fires expire() then, and expired latches the result.
+	deadline time.Time
+	timer    *time.Timer
+	expired  bool
 }
 
 // jobCtl is the per-digest cancellation control for in-flight jobs:
@@ -87,6 +126,7 @@ type jobCtl struct {
 type Service struct {
 	opts   Options
 	r      *runner.Runner
+	fs     faultio.FS
 	tel    *telemetry.Sweep
 	ownTel bool
 
@@ -99,7 +139,10 @@ type Service struct {
 	inflight int
 	draining bool
 	seq      int
-	wg       sync.WaitGroup
+	// preemptKick marks a scheduled dispatcher wake-up for a starved
+	// sweep whose victim was still inside its preemption floor.
+	preemptKick bool
+	wg          sync.WaitGroup
 }
 
 // New builds a service, reloading persisted sweeps when Options.Resume is
@@ -117,8 +160,16 @@ func New(o Options) (*Service, error) {
 		tel = telemetry.NewSweep(telemetry.SweepOptions{})
 		ownTel = true
 	}
+	if o.PreemptSlice <= 0 {
+		o.PreemptSlice = 500 * time.Millisecond
+	}
+	fs := o.FS
+	if fs == nil {
+		fs = faultio.OS{}
+	}
 	s := &Service{
 		opts:   o,
+		fs:     fs,
 		tel:    tel,
 		ownTel: ownTel,
 		sweeps: make(map[string]*sweepState),
@@ -133,6 +184,7 @@ func New(o Options) (*Service, error) {
 		CkptEvery: o.CkptEvery,
 		Resume:    o.Resume,
 		Telemetry: tel,
+		FS:        o.FS,
 	})
 	if o.Resume {
 		if err := s.reload(); err != nil {
@@ -156,10 +208,14 @@ func (s *Service) Telemetry() *telemetry.Sweep { return s.tel }
 // on resume every job re-admits, finished ones land as instant disk hits,
 // and interrupted ones restore from their checkpoints.
 type sweepDoc struct {
-	Schema    int              `json:"schema"`
-	ID        string           `json:"id"`
-	Cancelled bool             `json:"cancelled,omitempty"`
-	Requests  []runner.Request `json:"requests"`
+	Schema    int    `json:"schema"`
+	ID        string `json:"id"`
+	Cancelled bool   `json:"cancelled,omitempty"`
+	Expired   bool   `json:"expired,omitempty"`
+	// DeadlineUnixNano is the sweep's absolute deadline, persisted so a
+	// restart honors (or immediately fires) it rather than forgetting it.
+	DeadlineUnixNano int64            `json:"deadline_unix_nano,omitempty"`
+	Requests         []runner.Request `json:"requests"`
 }
 
 // sweepDocSchema versions the persisted sweep file format.
@@ -174,40 +230,19 @@ func (s *Service) persistLocked(sw *sweepState) {
 	for i, j := range sw.entries {
 		reqs[i] = j.req
 	}
-	doc := sweepDoc{Schema: sweepDocSchema, ID: sw.id, Cancelled: sw.cancelled, Requests: reqs}
+	doc := sweepDoc{Schema: sweepDocSchema, ID: sw.id, Cancelled: sw.cancelled, Expired: sw.expired, Requests: reqs}
+	if !sw.deadline.IsZero() {
+		doc.DeadlineUnixNano = sw.deadline.UnixNano()
+	}
 	data, err := json.MarshalIndent(&doc, "", "  ")
 	if err == nil {
-		err = writeAtomic(s.sweepDir(), filepath.Join(s.sweepDir(), sw.id+".json"), append(data, '\n'))
+		// The service's file plane (faultio.FS): fsync-hardened atomic
+		// writes by default, injectable faults under test.
+		err = s.fs.WriteFileAtomic(s.sweepDir(), filepath.Join(s.sweepDir(), sw.id+".json"), append(data, '\n'))
 	}
 	if err != nil && s.opts.Log != nil {
 		fmt.Fprintf(s.opts.Log, "  sweep %s not persisted: %v\n", sw.id, err)
 	}
-}
-
-// writeAtomic writes data through a temp file plus rename, so a reader
-// (or a crash) never sees a partial document.
-func writeAtomic(dir, path string, data []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }
 
 // reload restores persisted sweeps (oldest id first). Every non-cancelled
@@ -227,7 +262,7 @@ func (s *Service) reload() error {
 		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(s.sweepDir(), name))
+		data, err := s.fs.ReadFile(filepath.Join(s.sweepDir(), name))
 		if err != nil {
 			continue
 		}
@@ -240,9 +275,31 @@ func (s *Service) reload() error {
 		}
 		sw := buildSweep(doc.ID, doc.Requests)
 		sw.cancelled = doc.Cancelled
-		if sw.cancelled {
+		sw.expired = doc.Expired
+		if doc.DeadlineUnixNano != 0 {
+			sw.deadline = time.Unix(0, doc.DeadlineUnixNano)
+		}
+		switch {
+		case sw.cancelled:
 			for _, j := range sw.jobs {
 				j.state = JobCancelled
+			}
+		case sw.expired:
+			for _, j := range sw.jobs {
+				j.state = JobExpired
+			}
+		case !sw.deadline.IsZero():
+			// The deadline survived the restart: re-arm it, or fire it now
+			// if it lapsed while the service was down.
+			if until := time.Until(sw.deadline); until > 0 {
+				id := sw.id
+				sw.timer = time.AfterFunc(until, func() { s.expire(id) })
+			} else {
+				sw.expired = true
+				for _, j := range sw.jobs {
+					j.state = JobExpired
+				}
+				s.tel.DeadlineExpired(uint64(len(sw.jobs)))
 			}
 		}
 		s.sweeps[sw.id] = sw
@@ -287,7 +344,7 @@ func buildSweep(id string, reqs []runner.Request) *sweepState {
 		d := q.Digest()
 		j, ok := seen[d]
 		if !ok {
-			j = &job{req: q, digest: d, state: JobQueued}
+			j = &job{req: q, digest: d, idx: len(sw.jobs), state: JobQueued}
 			seen[d] = j
 			sw.jobs = append(sw.jobs, j)
 		}
@@ -296,12 +353,27 @@ func buildSweep(id string, reqs []runner.Request) *sweepState {
 	return sw
 }
 
-// Submit validates and admits one sweep, returning its initial status
-// (every job queued). Validation is all-or-nothing: one bad request
-// rejects the batch, identified by its index.
+// Submit validates and admits one sweep with no deadline, returning its
+// initial status (every job queued). Validation is all-or-nothing: one
+// bad request rejects the batch, identified by its index.
 func (s *Service) Submit(reqs []runner.Request) (*SweepStatus, error) {
+	return s.SubmitDeadline(reqs, 0)
+}
+
+// SubmitDeadline is Submit with a wall-clock bound: once deadline (when
+// positive) elapses, the sweep's still-queued jobs expire and in-flight
+// ones are interrupted at their next checkpoint boundary. The admission
+// queue is also enforced here: a batch that would push the pending-job
+// count past Options.MaxQueued is rejected whole with ErrOverloaded.
+func (s *Service) SubmitDeadline(reqs []runner.Request, deadline time.Duration) (*SweepStatus, error) {
 	if len(reqs) == 0 {
 		return nil, ErrEmptySweep
+	}
+	if deadline < 0 {
+		return nil, &runner.FieldError{
+			Field: "deadline_seconds", Value: deadline.String(),
+			Err: fmt.Errorf("%w: deadline must not be negative", runner.ErrBadField),
+		}
 	}
 	for i, q := range reqs {
 		if err := q.Validate(); err != nil {
@@ -313,14 +385,83 @@ func (s *Service) Submit(reqs []runner.Request) (*SweepStatus, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
-	s.seq++
 	sw := buildSweep("", reqs)
+	if max := s.opts.MaxQueued; max > 0 {
+		if pending := s.pendingLocked(); pending+len(sw.jobs) > max {
+			s.tel.Overloaded()
+			return nil, fmt.Errorf("%w: %d jobs pending + %d submitted > limit %d",
+				ErrOverloaded, pending, len(sw.jobs), max)
+		}
+	}
+	s.seq++
 	sw.id = sweepID(s.seq, sw.jobs)
+	if deadline > 0 {
+		sw.deadline = time.Now().Add(deadline)
+		id := sw.id
+		sw.timer = time.AfterFunc(deadline, func() { s.expire(id) })
+	}
 	s.sweeps[sw.id] = sw
 	s.order = append(s.order, sw.id)
 	s.persistLocked(sw)
 	s.cond.Broadcast()
 	return s.statusLocked(sw), nil
+}
+
+// pendingLocked counts admitted-but-unfinished jobs across live sweeps —
+// the admission queue's occupancy (mu held).
+func (s *Service) pendingLocked() int {
+	n := 0
+	for _, sw := range s.sweeps {
+		if sw.cancelled || sw.expired {
+			continue
+		}
+		for _, j := range sw.jobs {
+			if j.state == JobQueued || j.state == JobRunning {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// expire marks a sweep past its deadline: still-queued jobs expire in
+// place, in-flight jobs are interrupted at their next checkpoint boundary
+// (classified as expired when they land), and the sweep's status turns
+// terminal. Idempotent; a no-op for cancelled sweeps.
+func (s *Service) expire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := s.sweeps[id]
+	if sw == nil || sw.cancelled || sw.expired {
+		return
+	}
+	sw.expired = true
+	n := uint64(0)
+	for _, j := range sw.jobs {
+		if j.state == JobQueued {
+			j.state = JobExpired
+			n++
+		}
+	}
+	s.tel.DeadlineExpired(n)
+	s.releaseOwnersLocked(id)
+	s.persistLocked(sw)
+	s.cond.Broadcast()
+}
+
+// releaseOwnersLocked drops a sweep's ownership of every in-flight job
+// control, closing interrupt channels whose last owner it was (mu held).
+func (s *Service) releaseOwnersLocked(id string) {
+	for _, ctl := range s.ctl {
+		if _, ok := ctl.owners[id]; !ok {
+			continue
+		}
+		delete(ctl.owners, id)
+		if len(ctl.owners) == 0 && !ctl.closed {
+			ctl.closed = true
+			close(ctl.ch)
+		}
+	}
 }
 
 // Status reports a sweep's current standing.
@@ -348,21 +489,15 @@ func (s *Service) Cancel(id string) (*SweepStatus, error) {
 	}
 	if !sw.cancelled {
 		sw.cancelled = true
+		if sw.timer != nil {
+			sw.timer.Stop()
+		}
 		for _, j := range sw.jobs {
 			if j.state == JobQueued {
 				j.state = JobCancelled
 			}
 		}
-		for _, ctl := range s.ctl {
-			if _, ok := ctl.owners[id]; !ok {
-				continue
-			}
-			delete(ctl.owners, id)
-			if len(ctl.owners) == 0 && !ctl.closed {
-				ctl.closed = true
-				close(ctl.ch)
-			}
-		}
+		s.releaseOwnersLocked(id)
 		s.persistLocked(sw)
 		s.cond.Broadcast()
 	}
@@ -376,16 +511,27 @@ var digestRe = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
 // Result returns the raw persisted cache document for a finished job —
 // the same bytes a local sweep writes to <cacheDir>/<digest>.json, so
-// remote and local results are byte-identical.
+// remote and local results are byte-identical. The document is validated
+// before serving: a torn or corrupted file (a crash, a full disk, an
+// injected fault) is evicted and the result re-materialized from the
+// runner's in-memory outcome when it has one — so a storage fault
+// degrades to a re-run, never to serving garbage.
 func (s *Service) Result(digest string) ([]byte, error) {
 	if !digestRe.MatchString(digest) {
 		return nil, fmt.Errorf("%w: job %q", ErrNotFound, digest)
 	}
-	data, err := os.ReadFile(filepath.Join(s.opts.CacheDir, digest+".json"))
-	if err != nil {
-		return nil, fmt.Errorf("%w: job %s", ErrNotFound, digest)
+	path := filepath.Join(s.opts.CacheDir, digest+".json")
+	if data, err := os.ReadFile(path); err == nil {
+		if _, _, derr := runner.DecodeEntry(data); derr == nil {
+			return data, nil
+		}
+		// Unusable on disk; drop it so nothing downstream trusts it.
+		os.Remove(path)
 	}
-	return data, nil
+	if data, err := s.r.EntryBytes(digest); err == nil {
+		return data, nil
+	}
+	return nil, fmt.Errorf("%w: job %s", ErrNotFound, digest)
 }
 
 // SpanOf returns a finished job's trace span while the tracer still
@@ -416,11 +562,15 @@ func (s *Service) statusLocked(sw *sweepState) *SweepStatus {
 			st.Failed++
 		case JobCancelled:
 			st.Cancelled++
+		case JobExpired:
+			st.Expired++
 		}
 	}
 	switch {
 	case sw.cancelled:
 		st.State = SweepCancelled
+	case sw.expired:
+		st.State = SweepExpired
 	case st.Queued+st.Running > 0:
 		if st.Running+st.Done+st.Failed > 0 {
 			st.State = SweepRunning
@@ -461,10 +611,14 @@ func (s *Service) dispatch() {
 		}
 		j, sw := s.nextLocked()
 		if j == nil {
+			if s.opts.Preempt {
+				s.maybePreemptLocked()
+			}
 			s.cond.Wait()
 			continue
 		}
 		j.state = JobRunning
+		j.startedAt = time.Now()
 		s.inflight++
 		ctl := s.ctl[j.digest]
 		if ctl == nil || ctl.closed {
@@ -477,7 +631,92 @@ func (s *Service) dispatch() {
 		s.wg.Add(1)
 		go s.await(t, j, sw.id, ctl)
 		s.mu.Lock()
+		if j.state == JobRunning {
+			j.task = t
+		}
 	}
+}
+
+// maybePreemptLocked asks one running job to yield when the pool is full
+// and some live sweep is starved — queued work, nothing of its own
+// running — while another sweep holds workers (mu held). The victim is a
+// running job from the sweep with the most in flight, and at most one
+// preemption is pending at a time, so time-slicing converges instead of
+// thrashing. A victim younger than Options.PreemptSlice is left to run;
+// a timer re-kicks the dispatcher when the floor passes.
+func (s *Service) maybePreemptLocked() {
+	if s.inflight < s.opts.Jobs {
+		return
+	}
+	starved := false
+	for _, sw := range s.sweeps {
+		if sw.cancelled || sw.expired {
+			continue
+		}
+		queued, running := 0, 0
+		for _, j := range sw.jobs {
+			switch j.state {
+			case JobQueued:
+				queued++
+			case JobRunning:
+				running++
+			}
+			if j.preempting {
+				// One yield already in flight; wait for it to land.
+				return
+			}
+		}
+		if queued > 0 && running == 0 {
+			starved = true
+		}
+	}
+	if !starved {
+		return
+	}
+	var victim *job
+	best, youngest := 0, false
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		if sw.cancelled || sw.expired {
+			continue
+		}
+		running := 0
+		for _, j := range sw.jobs {
+			if j.state == JobRunning {
+				running++
+			}
+		}
+		if running <= best {
+			continue
+		}
+		for _, j := range sw.jobs {
+			if j.state != JobRunning || j.task == nil {
+				continue
+			}
+			if time.Since(j.startedAt) < s.opts.PreemptSlice {
+				youngest = true
+				continue
+			}
+			best, victim = running, j
+			break
+		}
+	}
+	if victim == nil {
+		if youngest && !s.preemptKick {
+			// Every candidate is inside its preemption floor: check back
+			// once the floor can have passed.
+			s.preemptKick = true
+			time.AfterFunc(s.opts.PreemptSlice/2+time.Millisecond, func() {
+				s.mu.Lock()
+				s.preemptKick = false
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			})
+		}
+		return
+	}
+	victim.preempting = true
+	victim.task.Preempt()
 }
 
 // nextLocked picks the next job to admit (mu held): round-robin over
@@ -489,7 +728,7 @@ func (s *Service) nextLocked() (*job, *sweepState) {
 	n := len(s.order)
 	for k := 0; k < n; k++ {
 		sw := s.sweeps[s.order[(s.rr+k)%n]]
-		if sw.cancelled {
+		if sw.cancelled || sw.expired {
 			continue
 		}
 		for sw.next < len(sw.jobs) && sw.jobs[sw.next].state != JobQueued {
@@ -512,12 +751,36 @@ func (s *Service) await(t *runner.Task, j *job, owner string, ctl *jobCtl) {
 	out, err := t.Wait()
 	s.mu.Lock()
 	s.inflight--
+	sw := s.sweeps[owner]
+	j.task = nil
+	j.preempting = false
 	switch {
 	case err == nil:
 		j.state = JobDone
 		j.cached = out.Cached
+	case errors.Is(err, runner.ErrPreempted):
+		switch {
+		case sw != nil && sw.cancelled:
+			j.state = JobCancelled
+		case sw != nil && sw.expired:
+			j.state = JobExpired
+			s.tel.DeadlineExpired(1)
+		default:
+			// The job yielded its slice: back to the queue, and the
+			// admission cursor rewinds so round-robin revisits it. Its
+			// persisted checkpoint resumes it on re-admission.
+			j.state = JobQueued
+			if sw != nil && j.idx < sw.next {
+				sw.next = j.idx
+			}
+		}
 	case errors.Is(err, machine.ErrInterrupted):
-		j.state = JobCancelled
+		if sw != nil && sw.expired {
+			j.state = JobExpired
+			s.tel.DeadlineExpired(1)
+		} else {
+			j.state = JobCancelled
+		}
 	default:
 		j.state = JobFailed
 		j.errMsg = err.Error()
@@ -549,7 +812,7 @@ func (s *Service) idleLocked() bool {
 		return false
 	}
 	for _, sw := range s.sweeps {
-		if sw.cancelled {
+		if sw.cancelled || sw.expired {
 			continue
 		}
 		for _, j := range sw.jobs {
@@ -569,6 +832,11 @@ func (s *Service) Drain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
+		for _, sw := range s.sweeps {
+			if sw.timer != nil {
+				sw.timer.Stop()
+			}
+		}
 		for _, ctl := range s.ctl {
 			if !ctl.closed {
 				ctl.closed = true

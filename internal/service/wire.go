@@ -38,6 +38,7 @@ const (
 	JobDone      = "done"
 	JobFailed    = "failed"
 	JobCancelled = "cancelled"
+	JobExpired   = "expired"
 )
 
 // Sweep states, as reported in SweepStatus.State.
@@ -47,6 +48,7 @@ const (
 	SweepDone      = "done"
 	SweepFailed    = "failed"
 	SweepCancelled = "cancelled"
+	SweepExpired   = "expired"
 )
 
 // SubmitRequest is the POST /v1/sweeps body: one sweep as a batch of wire
@@ -55,6 +57,11 @@ const (
 type SubmitRequest struct {
 	Schema   int              `json:"schema,omitempty"`
 	Requests []runner.Request `json:"requests"`
+	// DeadlineSeconds, when positive, bounds the sweep's wall-clock: once
+	// it elapses, still-queued jobs expire and in-flight ones are
+	// interrupted at their next checkpoint boundary. Zero means no
+	// deadline; negative or non-finite values are rejected ("bad-field").
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 // JobStatus is one job's standing inside a sweep. Digest is the request's
@@ -83,6 +90,7 @@ type SweepStatus struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	Expired   int `json:"expired,omitempty"`
 	// Retries counts transient-failure re-executions across the whole
 	// service (the worker pool is shared, so retries are too).
 	Retries uint64 `json:"retries,omitempty"`
@@ -93,11 +101,11 @@ type SweepStatus struct {
 }
 
 // Terminal reports whether the sweep reached a terminal state. A
-// just-cancelled sweep is terminal even while its in-flight jobs wind
-// down to their checkpoints.
+// just-cancelled (or just-expired) sweep is terminal even while its
+// in-flight jobs wind down to their checkpoints.
 func (s *SweepStatus) Terminal() bool {
 	switch s.State {
-	case SweepDone, SweepFailed, SweepCancelled:
+	case SweepDone, SweepFailed, SweepCancelled, SweepExpired:
 		return true
 	}
 	return false
@@ -106,8 +114,8 @@ func (s *SweepStatus) Terminal() bool {
 // WireError is the structured error every non-2xx response carries, under
 // an {"error": ...} envelope. Kind is a stable machine-matchable cause:
 // "schema", "unknown-workload", "unknown-policy", "bad-field",
-// "not-found", "draining" or "bad-request"; Field and Value identify the
-// offending request field on a validation failure.
+// "not-found", "draining", "overloaded" or "bad-request"; Field and
+// Value identify the offending request field on a validation failure.
 type WireError struct {
 	Message string `json:"message"`
 	Kind    string `json:"kind,omitempty"`

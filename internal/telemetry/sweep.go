@@ -48,6 +48,10 @@ type Sweep struct {
 	panics  *Counter
 	resumed *Counter
 
+	preempted  *Counter
+	overloaded *Counter
+	expired    *Counter
+
 	queued   *Gauge
 	running  *Gauge
 	workers  *Gauge
@@ -83,6 +87,10 @@ func NewSweep(o SweepOptions) *Sweep {
 		retries: reg.Counter("dynamo_sweep_retries_total", "", "Re-executions of transiently failed jobs."),
 		panics:  reg.Counter("dynamo_sweep_panics_total", "", "Jobs whose simulation panicked (recovered)."),
 		resumed: reg.Counter("dynamo_sweep_resumed_total", "", "Jobs restored from a persisted checkpoint."),
+
+		preempted:  reg.Counter("dynamo_runner_preemptions_total", "", "Jobs that yielded at a checkpoint boundary to make room for another sweep."),
+		overloaded: reg.Counter("dynamo_service_overloaded_total", "", "Sweep submissions rejected by the bounded admission queue."),
+		expired:    reg.Counter("dynamo_service_deadline_expired_total", "", "Jobs abandoned because their sweep's deadline passed."),
 
 		queued:   reg.Gauge("dynamo_sweep_jobs_queued", "", "Jobs submitted but not yet running or finished."),
 		running:  reg.Gauge("dynamo_sweep_jobs_running", "", "Jobs currently executing on the worker pool."),
@@ -261,6 +269,37 @@ func (s *Sweep) JobInterrupted(fromQueue bool) {
 	s.interrupted.Inc()
 }
 
+// JobPreempted counts a running job that cooperatively yielded at a
+// checkpoint boundary. Its running-gauge slot was already released by
+// JobRunDone; the re-queued job re-enters through JobQueued, so the
+// queued/running gauges stay balanced across a preempt-resume cycle.
+func (s *Sweep) JobPreempted() {
+	if s == nil {
+		return
+	}
+	s.preempted.Inc()
+}
+
+// Overloaded counts a sweep submission the bounded admission queue
+// rejected. Rejected jobs never touch the queued/running gauges — they
+// were refused before admission, not abandoned after it.
+func (s *Sweep) Overloaded() {
+	if s == nil {
+		return
+	}
+	s.overloaded.Inc()
+}
+
+// DeadlineExpired counts n jobs abandoned because their sweep's deadline
+// passed (still-queued jobs expire in bulk; each in-flight job expires as
+// its interrupt lands).
+func (s *Sweep) DeadlineExpired(n uint64) {
+	if s == nil {
+		return
+	}
+	s.expired.Add(n)
+}
+
 // Progress is the point-in-time sweep snapshot served by /progress and
 // rendered by the live progress line.
 type Progress struct {
@@ -282,6 +321,11 @@ type Progress struct {
 	Retries    uint64 `json:"retries"`
 	Panics     uint64 `json:"panics"`
 	Resumed    uint64 `json:"resumed"`
+	// Fault-domain traffic: cooperative preemptions, admission rejections
+	// and deadline expiries (zero unless the service enables them).
+	Preempted  uint64 `json:"preempted,omitempty"`
+	Overloaded uint64 `json:"overloaded,omitempty"`
+	Expired    uint64 `json:"expired,omitempty"`
 	// SimEvents and EventsPerSec aggregate simulated-job throughput.
 	SimEvents    uint64  `json:"sim_events"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -314,6 +358,9 @@ func (s *Sweep) Progress() Progress {
 		Retries:         s.retries.Value(),
 		Panics:          s.panics.Value(),
 		Resumed:         s.resumed.Value(),
+		Preempted:       s.preempted.Value(),
+		Overloaded:      s.overloaded.Value(),
+		Expired:         s.expired.Value(),
 		SimEvents:       s.simEvents.Value(),
 		ElapsedSeconds:  time.Since(s.start).Seconds(),
 	}

@@ -138,6 +138,8 @@ type serviceConfig struct {
 	ckptEvery uint64
 	resume    bool
 	log       io.Writer
+	maxQueued int
+	preempt   bool
 }
 
 // ServiceOption configures the observability and service surface shared
@@ -189,6 +191,25 @@ func ServiceResume() ServiceOption {
 // ServiceLog sends progress lines to w.
 func ServiceLog(w io.Writer) ServiceOption {
 	return func(c *serviceConfig) { c.log = w }
+}
+
+// ServiceMaxQueued bounds the admission queue: a sweep whose jobs would
+// push the admitted-but-unfinished count past n is rejected whole with
+// ErrServiceOverloaded (HTTP 429), and the client's jittered backoff
+// retries it. Zero means unbounded. Only Serve honors it — a local
+// runner has no admission queue.
+func ServiceMaxQueued(n int) ServiceOption {
+	return func(c *serviceConfig) { c.maxQueued = n }
+}
+
+// ServicePreemption enables checkpoint-based time-slicing on Serve: when
+// the pool is full and a newly arrived sweep is starved, one long-running
+// job is asked to yield at its next checkpoint boundary, re-queues, and
+// later resumes from its persisted checkpoint — so short sweeps are not
+// stuck behind long ones. Combine with ServiceCheckpoints so a preempted
+// job keeps its progress.
+func ServicePreemption() ServiceOption {
+	return func(c *serviceConfig) { c.preempt = true }
 }
 
 // fill resolves the options, opening a journal-backed telemetry surface

@@ -1,6 +1,8 @@
 package dynamo
 
 import (
+	"time"
+
 	"dynamo/internal/runner"
 	"dynamo/internal/service"
 )
@@ -41,6 +43,16 @@ var ErrSweepNotFound = service.ErrNotFound
 // (HTTP 503 on the wire).
 var ErrServiceDraining = service.ErrDraining
 
+// ErrServiceOverloaded rejects a sweep the bounded admission queue
+// (ServiceMaxQueued) cannot hold — HTTP 429 on the wire. Backpressure,
+// not failure: a client with retries enabled backs off and resubmits.
+var ErrServiceOverloaded = service.ErrOverloaded
+
+// ErrSweepWaitTimeout marks a SweepClient Wait or Execute that ran out
+// of its deadline (RemoteDeadline / SweepClient.Deadline) before the
+// sweep turned terminal.
+var ErrSweepWaitTimeout = service.ErrWaitTimeout
+
 // Serve starts a sweep service on addr (host:port; ":0" picks a free
 // port). ServiceCacheDir is required — the cache is what the service
 // serves. With ServiceResume, persisted sweeps reload and interrupted
@@ -57,6 +69,8 @@ func Serve(addr string, opts ...ServiceOption) (*SweepService, error) {
 		Resume:    c.resume,
 		Telemetry: c.telemetry,
 		Log:       c.log,
+		MaxQueued: c.maxQueued,
+		Preempt:   c.preempt,
 	})
 	if err != nil {
 		return nil, err
@@ -97,12 +111,31 @@ func (s *SweepService) Close() error {
 // mid-restart is transparent.
 func Dial(addr string) *SweepClient { return service.Dial(addr) }
 
+// RemoteOption tunes the client a WithRemote runner dials with.
+type RemoteOption func(*service.Client)
+
+// RemoteDeadline bounds every remote job's wait and stamps submitted
+// sweeps with a wire deadline, so the server abandons work the caller
+// stopped watching (expired jobs report ErrSweepWaitTimeout).
+func RemoteDeadline(d time.Duration) RemoteOption {
+	return func(c *service.Client) { c.Deadline = d }
+}
+
+// RemoteRetries bounds the client's per-call retries of transient
+// transport failures and 429/503 pushback (see SweepClient.Retries).
+func RemoteRetries(n int) RemoteOption {
+	return func(c *service.Client) { c.Retries = n }
+}
+
 // WithRemote routes a Runner's job execution to a sweep service at addr:
 // the local runner keeps its pool, dedupe, stats and telemetry
 // semantics, but every cache-missing job runs on the server and comes
 // back as the server's cache-entry bytes. Combine with an empty cache
 // directory to make the server the single source of truth.
-func WithRemote(addr string) RunnerOption {
+func WithRemote(addr string, opts ...RemoteOption) RunnerOption {
 	client := service.Dial(addr)
+	for _, opt := range opts {
+		opt(client)
+	}
 	return func(o *runner.Options) { o.Execute = client.Execute }
 }

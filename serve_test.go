@@ -1,0 +1,60 @@
+package dynamo
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestServeFacadeHardening drives the fault-hardening surface end to end
+// through the public facade: a preemption-enabled, admission-bounded
+// service, a remote runner with a wire deadline, and the typed
+// backpressure and timeout sentinels.
+func TestServeFacadeHardening(t *testing.T) {
+	svc, err := Serve("127.0.0.1:0",
+		ServiceCacheDir(t.TempDir()),
+		ServiceJobs(2),
+		ServiceCheckpoints(20000),
+		ServicePreemption(),
+		ServiceMaxQueued(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// A remote runner executes on the server; the generous deadline rides
+	// along on the wire without expiring anything.
+	r := NewRunner(WithJobs(2), WithRemote(svc.Addr(), RemoteDeadline(time.Minute), RemoteRetries(8)))
+	defer r.Close()
+	q := SweepRequest{Workload: "histogram", Policy: "all-near", Threads: 2, Scale: 0.05}
+	out, err := r.Run(q)
+	if err != nil || out == nil || out.SimEvents == 0 {
+		t.Fatalf("remote run through facade: %v", err)
+	}
+
+	// The admission bound pushes back with the typed sentinel: three
+	// distinct jobs in one batch cannot fit a queue of two.
+	c := Dial(svc.Addr())
+	c.Retries = 0
+	_, err = c.Submit(
+		SweepRequest{Workload: "tc", Policy: "all-near", Threads: 2, Scale: 0.05},
+		SweepRequest{Workload: "tc", Policy: "shared-far", Threads: 2, Scale: 0.05},
+		SweepRequest{Workload: "spmv", Policy: "all-near", Threads: 2, Scale: 0.05},
+	)
+	if !errors.Is(err, ErrServiceOverloaded) {
+		t.Fatalf("oversized batch err = %v, want ErrServiceOverloaded", err)
+	}
+
+	// A deadline-bounded wait on a sweep that outlives it reports the
+	// typed timeout.
+	st, err := c.Submit(SweepRequest{Workload: "tc", Policy: "all-near", Threads: 2, Scale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Dial(svc.Addr())
+	w.Deadline = 30 * time.Millisecond
+	if _, err := w.Wait(st.ID); !errors.Is(err, ErrSweepWaitTimeout) {
+		t.Fatalf("bounded wait err = %v, want ErrSweepWaitTimeout", err)
+	}
+}
