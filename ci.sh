@@ -9,6 +9,10 @@
 # soak gate repeatedly SIGKILLs and -resume-restarts the sweep *server*
 # under deterministic storage/network fault injection, asserting the
 # remote tables still come out byte-identical with no quarantine leaks.
+# The worker-fleet soak gate runs the same sweep through a fleet of
+# dynamo-worker processes under repeated worker SIGKILLs: lease expiry
+# must reassign the dead workers' jobs (resuming from shipped
+# checkpoints) and the tables must still match byte-for-byte.
 #
 # ./ci.sh bench [N] measures the pinned host-performance matrix into
 # BENCH_N.json (N defaults to one past the highest committed file) and
@@ -299,5 +303,96 @@ echo "$metrics" | grep -q '^dynamo_faultio_injected_total' || {
 kill -TERM "$soak" 2>/dev/null || true
 wait "$soak" 2>/dev/null || true
 echo "ci: soak survived $cycles SIGKILL cycle(s) under faults with byte-identical tables"
+
+# Worker-fleet soak gate: the same quick suite served by dynamo-serve
+# -workers, executed by a fleet of three dynamo-worker processes while the
+# gate repeatedly SIGKILLs one of them (no drain, no release) and starts a
+# replacement. Lease expiry must detect each death, requeue the job to
+# resume from its last shipped checkpoint, and fence any late commit; at
+# the end the tables are byte-identical to the clean local baseline, no
+# quarantine markers leaked, and the lease/worker gauges drained to zero.
+echo "ci: worker-fleet soak gate (3 workers, repeated SIGKILL)"
+go build -o "$stats/dynamo-worker" ./cmd/dynamo-worker
+wcache="$stats/fleet-cache"
+"$stats/dynamo-serve" -addr 127.0.0.1:0 -cache-dir "$wcache" \
+	-workers -lease-ttl 2s -ckpt-every 20000 \
+	-quiet >"$stats/fleet-addr.txt" 2>/dev/null &
+fleet=$!
+waddr=""
+for _ in $(seq 1 50); do
+	waddr=$(sed -n 's!^http://!!p' "$stats/fleet-addr.txt" | head -1)
+	[ -n "$waddr" ] && break
+	sleep 0.2
+done
+[ -n "$waddr" ] || { echo "ci: fleet server never announced an address" >&2; exit 1; }
+fleet_worker() {
+	# $1: worker slot variable (w1..w3); $2: worker id.
+	"$stats/dynamo-worker" -addr "$waddr" -id "$2" -slots 2 \
+		-heartbeat 250ms -poll 100ms -quiet >/dev/null 2>&1 &
+	eval "$1=$!"
+}
+fleet_worker w1 fleet-a
+fleet_worker w2 fleet-b
+fleet_worker w3 fleet-c
+"$stats/dynamo-experiments" -quick -jobs 4 -cache-dir "" \
+	-remote "$waddr" -remote-deadline 180s \
+	fig7 >"$stats/fig7-fleet.txt" 2>/dev/null &
+fsweep=$!
+kills=0
+gen=0
+while :; do
+	sleep 1.5
+	if ! kill -0 "$fsweep" 2>/dev/null; then
+		break
+	fi
+	# SIGKILL one worker, rotating through the fleet, and start a fresh
+	# replacement so capacity holds while the dead lease times out.
+	victim=$(eval "echo \$w$((kills % 3 + 1))")
+	kill -9 "$victim" 2>/dev/null || true
+	wait "$victim" 2>/dev/null || true
+	kills=$((kills + 1))
+	gen=$((gen + 1))
+	echo "ci: fleet kill $kills (worker pid $victim), starting replacement"
+	fleet_worker "w$(((kills - 1) % 3 + 1))" "fleet-r$gen"
+	if [ "$kills" -ge 6 ]; then
+		echo "ci: fleet kill budget reached; letting the sweep finish"
+		wait "$fsweep" || { echo "ci: fleet sweep failed" >&2; exit 1; }
+		break
+	fi
+done
+wait "$fsweep" 2>/dev/null || true
+cmp "$stats/fig7-want.txt" "$stats/fig7-fleet.txt"
+echo "ci: fleet sweep finished after $kills worker kill(s)"
+leaked=$(find "$wcache" -name '*.failed.json' 2>/dev/null)
+[ -z "$leaked" ] || { echo "ci: fleet soak leaked quarantine markers:" >&2; echo "$leaked" >&2; exit 1; }
+wleases=-1
+wworkers=-1
+for _ in $(seq 1 60); do
+	wmetrics=$(curl -fsS "http://$waddr/metrics") || { sleep 0.5; continue; }
+	wleases=$(echo "$wmetrics" | sed -n 's/^dynamo_work_leases \([0-9-]*\)$/\1/p')
+	wworkers=$(echo "$wmetrics" | sed -n 's/^dynamo_work_workers \([0-9-]*\)$/\1/p')
+	wqueued=$(echo "$wmetrics" | sed -n 's/^dynamo_sweep_jobs_queued \([0-9]*\)$/\1/p')
+	wrunning=$(echo "$wmetrics" | sed -n 's/^dynamo_sweep_jobs_running \([0-9]*\)$/\1/p')
+	[ "$wleases" = 0 ] && [ "$wworkers" = 0 ] && [ "$wqueued" = 0 ] && [ "$wrunning" = 0 ] && break
+	sleep 0.5
+done
+[ "$wleases" = 0 ] && [ "$wworkers" = 0 ] && [ "$wqueued" = 0 ] && [ "$wrunning" = 0 ] || {
+	echo "ci: fleet gauges never drained (leases=$wleases workers=$wworkers queued=$wqueued running=$wrunning)" >&2
+	exit 1
+}
+committed=$(echo "$wmetrics" | sed -n 's/^dynamo_work_commits_total{outcome="ok"} \([0-9]*\)$/\1/p')
+[ -n "$committed" ] && [ "$committed" -gt 0 ] || {
+	echo "ci: fleet server accepted no worker commits (got '$committed')" >&2
+	exit 1
+}
+for wpid in "$w1" "$w2" "$w3"; do
+	kill -TERM "$wpid" 2>/dev/null || true
+done
+for wpid in "$w1" "$w2" "$w3"; do
+	wait "$wpid" 2>/dev/null || true
+done
+kill -TERM "$fleet" 2>/dev/null || true
+wait "$fleet" 2>/dev/null || true
+echo "ci: fleet soak survived $kills worker SIGKILL(s) with byte-identical tables ($committed commits)"
 
 echo "ci: OK"

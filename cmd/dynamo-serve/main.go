@@ -16,6 +16,14 @@
 //	GET    /v1/jobs/{digest}/span   job trace span
 //	GET    /metrics /progress /jobs telemetry
 //
+// With -workers, jobs are not executed in-process: dynamo-worker
+// processes pull them through POST /v1/work/lease (TTL lease + fencing
+// token), heartbeat via POST /v1/work/{digest}/heartbeat, and commit via
+// POST /v1/work/{digest}/result. A worker that stops heartbeating is
+// presumed dead after -lease-ttl: its job requeues, resuming from the
+// last checkpoint it shipped, and any commit under the stale fence is
+// rejected.
+//
 // The cache directory is the service's durable state: results, job
 // checkpoints and accepted sweep documents all live there. SIGINT or
 // SIGTERM drains gracefully — in-flight jobs checkpoint (with
@@ -33,6 +41,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"dynamo/internal/cliflags"
 	"dynamo/internal/faultio"
@@ -49,6 +58,8 @@ func main() {
 	resume := cliflags.Resume(flag.CommandLine)
 	preempt := flag.Bool("preempt", false, "time-slice long jobs across sweeps at checkpoint boundaries (use with -ckpt-every)")
 	maxQueued := flag.Int("max-queued", 0, "bound the admission queue: reject sweeps past this many pending jobs with HTTP 429 (0 = unbounded)")
+	workers := flag.Bool("workers", false, "dispatch jobs to external dynamo-worker processes via /v1/work leases instead of executing in-process")
+	leaseTTL := flag.Duration("lease-ttl", 0, "worker lease TTL before a silent worker is presumed dead and its job requeued (with -workers; 0 = 10s default)")
 	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault injector (with -fault-level)")
 	faultLevel := flag.Int("fault-level", 0, "inject storage and network faults at this intensity, 0 = off (testing only)")
 	faultBudget := flag.Int("fault-budget", -1, "stop injecting after this many faults (-1 = unlimited)")
@@ -89,6 +100,8 @@ func main() {
 		Log:       log.DebugWriter(),
 		Preempt:   *preempt,
 		MaxQueued: *maxQueued,
+		Workers:   *workers,
+		LeaseTTL:  *leaseTTL,
 	}
 	if *faultLevel > 0 {
 		inj = faultio.New(faultio.Level(*faultSeed, *faultLevel, *faultBudget))
@@ -110,6 +123,13 @@ func main() {
 	// with :0 can read where it landed.
 	fmt.Printf("http://%s\n", srv.Addr())
 	log.Infof("dynamo-serve: serving sweeps on http://%s (cache %s)", srv.Addr(), *cacheDir)
+	if *workers {
+		ttl := *leaseTTL
+		if ttl <= 0 {
+			ttl = 10 * time.Second
+		}
+		log.Infof("dynamo-serve: worker dispatch on (/v1/work, lease TTL %s)", ttl)
+	}
 
 	signals := make(chan os.Signal, 1)
 	signal.Notify(signals, os.Interrupt, syscall.SIGTERM)

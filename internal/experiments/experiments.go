@@ -118,7 +118,7 @@ func NewSuite(o Options) *Suite {
 	if o.Remote != "" {
 		client := service.Dial(o.Remote)
 		client.Deadline = o.RemoteDeadline
-		ro.Execute = client.Execute
+		ro.ExecuteInterruptible = client.ExecuteInterruptible
 	}
 	return &Suite{opts: o, r: runner.New(ro)}
 }

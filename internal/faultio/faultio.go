@@ -25,6 +25,7 @@ package faultio
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sync"
@@ -348,6 +349,55 @@ func (f faultFS) WriteFileAtomic(dir, path string, data []byte) error {
 func (f faultFS) Rename(oldpath, newpath string) error { return f.fs.Rename(oldpath, newpath) }
 
 func (f faultFS) Remove(path string) error { return f.fs.Remove(path) }
+
+// WrapTransport layers the injector's network-plane faults over a
+// client-side http.RoundTripper — the worker-fleet mirror of WrapHandler.
+// A dropped request errors before anything is sent (the request never
+// took effect); a duplicated one is performed but its response discarded
+// (the request took effect, the caller cannot know) — both surface as
+// ECONNRESET so the client's retryable() path engages, and both force the
+// lease protocol to prove its idempotence: re-sent commits must be
+// acknowledged as byte-identical duplicates, never double-applied. A nil
+// injector (or nil rt, meaning the default transport) passes through.
+func (in *Injector) WrapTransport(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if in == nil {
+		return rt
+	}
+	return faultTransport{in: in, rt: rt}
+}
+
+type faultTransport struct {
+	in *Injector
+	rt http.RoundTripper
+}
+
+func (t faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	if in.draw(in.net, in.opts.DelayPermille, KindDelay) {
+		time.Sleep(in.delayFor())
+	}
+	if in.draw(in.net, in.opts.DropPermille, KindDrop) {
+		// Lost before reaching the server: the call had no effect.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultio: injected request drop: %w", syscall.ECONNRESET)
+	}
+	if in.draw(in.net, in.opts.DupPermille, KindDup) {
+		// Delivered, but the response is lost on the way back: the call
+		// took effect exactly once, yet the caller must retry blind.
+		resp, err := t.rt.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return nil, fmt.Errorf("faultio: injected response loss: %w", syscall.ECONNRESET)
+	}
+	return t.rt.RoundTrip(req)
+}
 
 // discardWriter swallows a duplicated response: the handler runs for its
 // side effects while the client sees an aborted connection.

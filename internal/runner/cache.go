@@ -50,6 +50,15 @@ func DecodeEntry(data []byte) (*Outcome, time.Duration, error) {
 	return &Outcome{Result: e.Result, Hot: e.Hot, Cached: true}, time.Duration(e.ElapsedNS), nil
 }
 
+// EncodeEntry renders the canonical persisted-cache document for a
+// finished job — the same bytes save writes and DecodeEntry reads. A fleet
+// worker commits its result as these bytes so the server can persist them
+// verbatim: one encoding, producer-side, keeps remote and local results
+// byte-identical.
+func EncodeEntry(q Request, out *Outcome, elapsed time.Duration) ([]byte, error) {
+	return encodeEntry(q.normalize(), out, elapsed)
+}
+
 // store is the persistent result cache. A nil store (no cache directory)
 // never hits and never writes. All disk traffic funnels through fs — the
 // seam the deterministic fault injector wraps; the default is the real,

@@ -268,6 +268,42 @@ type execCtx struct {
 	interrupt <-chan struct{}
 }
 
+// ExecOptions carries the robustness wiring for ExecuteLocal: periodic
+// checkpoint capture, resume from a shipped checkpoint, and cooperative
+// interruption. The zero value runs the request plainly.
+type ExecOptions struct {
+	// CkptEvery, when nonzero, captures a checkpoint into Sink roughly
+	// every CkptEvery simulation events.
+	CkptEvery uint64
+	// Sink receives captured checkpoints (required when CkptEvery > 0).
+	Sink func(*checkpoint.Checkpoint)
+	// Resume, when non-nil, restores the run from this checkpoint via the
+	// machine's verified deterministic replay. Its identity must be the
+	// request's digest.
+	Resume *checkpoint.Checkpoint
+	// Interrupt stops the run at its next checkpoint boundary with
+	// machine.ErrInterrupted (after a final Sink capture when
+	// checkpointing is on).
+	Interrupt <-chan struct{}
+}
+
+// ExecuteLocal simulates one request in this process with the given
+// robustness wiring — the same per-job execution path the runner's worker
+// pool uses, exported as the seam a fleet worker executes leased jobs
+// through. Checkpoints are stamped with the request's canonical digest as
+// their identity, so a checkpoint captured on one host resumes the same
+// request on any other.
+func ExecuteLocal(q Request, o ExecOptions) (*Outcome, error) {
+	q = q.normalize()
+	return execute(q, execCtx{
+		ckptEvery: o.CkptEvery,
+		identity:  q.Digest(),
+		sink:      o.Sink,
+		resume:    o.Resume,
+		interrupt: o.Interrupt,
+	})
+}
+
 // execute simulates one normalized request from scratch: its own machine,
 // its own workload instance, fully deterministic regardless of what other
 // jobs run concurrently.

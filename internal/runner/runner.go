@@ -64,6 +64,14 @@ type Options struct {
 	// Checkpoint capture and resume are skipped — whoever executes owns
 	// them.
 	Execute func(Request) (*Outcome, error)
+	// ExecuteInterruptible is Execute's interrupt-aware form and takes
+	// precedence over it: the channel closes when the job is cancelled or
+	// preempted, so a remote executor can stop waiting (and withdraw or
+	// cancel the remote work) instead of polling until the job's natural
+	// end. Return an error wrapping machine.ErrInterrupted to report the
+	// interruption. The sweep service's lease dispatcher and the remote
+	// client both plug in here.
+	ExecuteInterruptible func(Request, <-chan struct{}) (*Outcome, error)
 	// FS, when non-nil, replaces the file plane beneath the persistent
 	// cache (results, checkpoints, quarantine markers) — the seam the
 	// deterministic faultio injector wraps. Nil selects the real,
@@ -159,10 +167,19 @@ func (r *Runner) safeExecute(q Request, x execCtx) (out *Outcome, err error) {
 			err = fmt.Errorf("%w: %v\n%s", ErrJobPanicked, rec, debug.Stack())
 		}
 	}()
+	if r.opts.ExecuteInterruptible != nil {
+		return r.opts.ExecuteInterruptible(q, x.interrupt)
+	}
 	if r.opts.Execute != nil {
 		return r.opts.Execute(q)
 	}
 	return executeFn(q, x)
+}
+
+// remoteExec reports whether job execution is delegated to an external
+// executor, which then owns checkpoint capture and resume.
+func (r *Runner) remoteExec() bool {
+	return r.opts.Execute != nil || r.opts.ExecuteInterruptible != nil
 }
 
 // Task is a submitted job's handle.
@@ -498,7 +515,7 @@ func (r *Runner) run(t *Task) {
 	_, resumeOnce := r.resumeNext[digest]
 	delete(r.resumeNext, digest)
 	r.mu.Unlock()
-	if r.store != nil && r.opts.Execute == nil {
+	if r.store != nil && !r.remoteExec() {
 		x.identity = digest
 		if r.opts.CkptEvery > 0 {
 			x.ckptEvery = r.opts.CkptEvery

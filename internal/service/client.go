@@ -52,6 +52,12 @@ type Client struct {
 	// Resubmits bounds Execute's self-healing resubmissions when a
 	// result document was lost to a crash or storage fault (default 3).
 	Resubmits int
+
+	// jitter draws the random half of a backoff delay: jitter(n) returns
+	// a value in [0, n). It defaults to the process-global rand.Int63n; a
+	// test swaps in a seeded source so backoff schedules are reproducible
+	// without depending on wall-clock randomness.
+	jitter func(n int64) int64
 }
 
 // Dial builds a client for addr ("host:port", scheme optional).
@@ -107,6 +113,12 @@ func kindErr(kind string) error {
 		return ErrDraining
 	case "overloaded":
 		return ErrOverloaded
+	case "lease-expired":
+		return ErrLeaseExpired
+	case "stale-commit":
+		return ErrStaleCommit
+	case "no-workers":
+		return ErrNoWorkers
 	}
 	return nil
 }
@@ -127,7 +139,11 @@ func (c *Client) delay(attempt int) time.Duration {
 	if d <= 0 || d > max {
 		d = max
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	draw := c.jitter
+	if draw == nil {
+		draw = rand.Int63n
+	}
+	return d/2 + time.Duration(draw(int64(d/2)+1))
 }
 
 // sleepCtx pauses for d, returning false early when ctx ends.
@@ -345,32 +361,86 @@ func (c *Client) Span(digest string) (*Span, error) {
 // Submissions dedupe by content digest, so a resubmission is free when
 // the result actually survived.
 func (c *Client) Execute(q runner.Request) (*runner.Outcome, error) {
+	return c.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute bounded by ctx: cancellation aborts the
+// remote wait promptly (between poll sleeps, not after one) and
+// best-effort cancels the sweep server-side so the fleet stops burning
+// cycles on work nobody will collect.
+func (c *Client) ExecuteContext(ctx context.Context, q runner.Request) (*runner.Outcome, error) {
 	resubmits := c.Resubmits
 	if resubmits < 0 {
 		resubmits = 0
 	}
 	var lastErr error
 	for attempt := 0; attempt <= resubmits; attempt++ {
-		out, retryAgain, err := c.executeOnce(q)
+		out, retryAgain, err := c.executeOnce(ctx, q)
 		if err == nil {
 			return out, nil
 		}
 		lastErr = err
-		if !retryAgain {
+		if ctx.Err() != nil || !retryAgain {
 			break
 		}
 	}
 	return nil, lastErr
 }
 
+// ExecuteInterruptible is ExecuteContext shaped for
+// runner.Options.ExecuteInterruptible: the interrupt channel closing
+// cancels the remote wait, and the interruption reports as an error
+// wrapping machine.ErrInterrupted — what the runner's cancellation and
+// preemption classification expects.
+func (c *Client) ExecuteInterruptible(q runner.Request, interrupt <-chan struct{}) (*runner.Outcome, error) {
+	if interrupt == nil {
+		return c.ExecuteContext(context.Background(), q)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-interrupt:
+			cancel()
+		case <-done:
+		}
+	}()
+	out, err := c.ExecuteContext(ctx, q)
+	if err != nil {
+		select {
+		case <-interrupt:
+			return nil, fmt.Errorf("service: remote job abandoned: %w", machine.ErrInterrupted)
+		default:
+		}
+	}
+	return out, err
+}
+
 // executeOnce submits, waits, and fetches one request's result. The
 // middle return reports whether a resubmission could heal the failure.
-func (c *Client) executeOnce(q runner.Request) (*runner.Outcome, bool, error) {
-	st, err := c.Submit(q)
+func (c *Client) executeOnce(ctx context.Context, q runner.Request) (*runner.Outcome, bool, error) {
+	st, err := c.SubmitContext(ctx, q)
 	if err != nil {
 		return nil, false, err
 	}
-	if st, err = c.Wait(st.ID); err != nil {
+	id := st.ID
+	wctx := ctx
+	if c.Deadline > 0 {
+		var cancel context.CancelFunc
+		wctx, cancel = context.WithTimeout(ctx, c.Deadline)
+		defer cancel()
+	}
+	if st, err = c.WaitContext(wctx, id); err != nil {
+		if ctx.Err() != nil {
+			// The caller abandoned the job mid-wait: tell the server so the
+			// work cancels instead of running to completion unobserved.
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			c.CancelContext(cctx, id)
+			cancel()
+			return nil, false, err
+		}
 		// A sweep id the server no longer knows means it restarted before
 		// persisting the sweep document; resubmitting recreates the work.
 		return nil, errors.Is(err, ErrNotFound), err
@@ -381,7 +451,7 @@ func (c *Client) executeOnce(q runner.Request) (*runner.Outcome, bool, error) {
 	j := st.Jobs[0]
 	switch j.State {
 	case JobDone:
-		data, err := c.ResultBytes(j.Digest)
+		data, err := c.ResultBytesContext(ctx, j.Digest)
 		if err != nil {
 			// Done without a readable document: the result file was lost
 			// to a crash or storage fault. A resubmission re-runs it.
@@ -400,4 +470,57 @@ func (c *Client) executeOnce(q runner.Request) (*runner.Outcome, bool, error) {
 		return nil, false, fmt.Errorf("service: remote job %s: %w (sweep deadline passed)", j.Digest, ErrWaitTimeout)
 	}
 	return nil, false, fmt.Errorf("service: job %s ended in state %q", j.Digest, j.State)
+}
+
+// Lease pulls one job from the server's work queue under a TTL lease
+// (the server default when ttl is zero). A nil grant with a nil error
+// means no work is pending right now — the worker's cue to idle-poll.
+func (c *Client) Lease(ctx context.Context, worker string, ttl time.Duration) (*LeaseGrant, error) {
+	body := LeaseRequest{Schema: runner.WireSchema, Worker: worker}
+	if ttl > 0 {
+		body.TTLSeconds = ttl.Seconds()
+	}
+	var data []byte
+	if err := c.do(ctx, http.MethodPost, "/v1/work/lease", body, &data); err != nil {
+		return nil, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, nil // 204: nothing to do
+	}
+	var g LeaseGrant
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("service: decoding lease grant: %w", err)
+	}
+	return &g, nil
+}
+
+// Heartbeat extends a lease, optionally shipping the job's latest
+// checkpoint document, or — with release — hands the job back.
+func (c *Client) Heartbeat(ctx context.Context, digest, worker string, fence uint64, ckpt []byte, release bool) (*HeartbeatReply, error) {
+	body := HeartbeatRequest{
+		Schema: runner.WireSchema, Worker: worker, Fence: fence,
+		Checkpoint: ckpt, Release: release,
+	}
+	var hb HeartbeatReply
+	if err := c.do(ctx, http.MethodPost, "/v1/work/"+digest+"/heartbeat", body, &hb); err != nil {
+		return nil, err
+	}
+	return &hb, nil
+}
+
+// Commit settles a leased job: entry is the canonical cache document
+// (runner.EncodeEntry bytes) on success, errMsg (plus a transient
+// errKind, "panicked" or "stalled") on failure. Safe to re-send on an
+// unknown transport fate — the server acknowledges byte-identical
+// duplicates idempotently.
+func (c *Client) Commit(ctx context.Context, digest, worker string, fence uint64, entry []byte, errMsg, errKind string) (*CommitReply, error) {
+	body := CommitRequest{
+		Schema: runner.WireSchema, Worker: worker, Fence: fence,
+		Entry: entry, Error: errMsg, ErrorKind: errKind,
+	}
+	var cr CommitReply
+	if err := c.do(ctx, http.MethodPost, "/v1/work/"+digest+"/result", body, &cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
 }

@@ -1,0 +1,530 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dynamo/internal/checkpoint"
+	"dynamo/internal/faultio"
+	"dynamo/internal/machine"
+	"dynamo/internal/runner"
+	"dynamo/internal/telemetry"
+)
+
+// ErrLeaseExpired rejects a work call whose lease no longer exists: the
+// TTL lapsed (the expiry scanner revoked it), the job was withdrawn, or
+// the digest was never leased to begin with. HTTP 410 on the wire, kind
+// "lease-expired". The worker's move is to abandon the job — a new
+// leaseholder owns it now.
+var ErrLeaseExpired = errors.New("service: lease expired")
+
+// ErrStaleCommit rejects a commit bearing a fencing token that is not the
+// job's live lease: the result arrived after the lease was revoked and
+// the job re-granted (or already committed by someone else). HTTP 409 on
+// the wire, kind "stale-commit". Byte-identical duplicates of the
+// committed entry are the one exception — those are acknowledged
+// idempotently, never fenced.
+var ErrStaleCommit = errors.New("service: stale commit fenced")
+
+// ErrNoWorkers rejects work-API calls on a service running without
+// Options.Workers: there is no lease table to talk to.
+var ErrNoWorkers = errors.New("service: worker dispatch disabled")
+
+// workItem states.
+const (
+	workPending = iota // queued, waiting for a worker to lease it
+	workLeased         // held by a worker under a live TTL lease
+	workDone           // finished (committed, failed, or withdrawn)
+)
+
+// workItem is one job flowing through the lease table. Exactly one live
+// item exists per digest (the runner dedupes submissions); a finished
+// item stays registered so late duplicate commits can be told apart from
+// divergent ones.
+type workItem struct {
+	digest string
+	req    runner.Request
+	state  int
+	// fence is the monotone fencing token of the item's latest grant.
+	// Heartbeats and commits must present it; after a revocation the next
+	// grant draws a strictly larger token, fencing the old holder out.
+	fence   uint64
+	worker  string
+	ttl     time.Duration
+	expires time.Time
+	attempt int
+	// withdrawn marks an item whose dispatcher gave up on it (sweep
+	// cancelled, job preempted, service draining): a leased holder learns
+	// via the Yield bit on its next heartbeat and releases.
+	withdrawn bool
+	// ckpt is the latest shipped checkpoint document; it seeds the next
+	// grant so a revoked job resumes instead of restarting.
+	ckpt []byte
+	// committed + entryHash identify the accepted result's exact bytes,
+	// the basis of idempotent duplicate detection.
+	committed bool
+	entryHash [sha256.Size]byte
+
+	out  *runner.Outcome
+	err  error
+	done chan struct{}
+}
+
+// leaseTableOptions configures a leaseTable.
+type leaseTableOptions struct {
+	Dir       string // the service's cache directory (entries, checkpoints)
+	FS        faultio.FS
+	Telemetry *telemetry.Sweep
+	Log       io.Writer
+	TTL       time.Duration // default lease TTL
+	CkptEvery uint64        // checkpoint cadence advertised to workers
+}
+
+// leaseTable is the work-distribution core behind the /v1/work routes:
+// jobs the runner's pool would have executed in-process park here instead,
+// workers pull them under TTL leases, and the expiry scanner treats a
+// missed heartbeat as worker death — the lease is revoked, the job
+// requeued to resume from its last shipped checkpoint, and any later
+// commit bearing the stale fencing token rejected. Commits are
+// at-most-once per digest: idempotent for byte-identical duplicates, a
+// structured ErrStaleCommit otherwise.
+type leaseTable struct {
+	opts leaseTableOptions
+	fs   faultio.FS
+	tel  *telemetry.Sweep
+
+	mu      sync.Mutex
+	items   map[string]*workItem
+	queue   []string // pending digests, FIFO; revoked jobs requeue at the front
+	fence   uint64   // global monotone fencing-token source
+	workers map[string]int
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// scanTick is the expiry scanner's cadence: a revoked lease is detected
+// at most one tick after its TTL lapses.
+const scanTick = 25 * time.Millisecond
+
+func newLeaseTable(o leaseTableOptions) *leaseTable {
+	if o.TTL <= 0 {
+		o.TTL = 10 * time.Second
+	}
+	fs := o.FS
+	if fs == nil {
+		fs = faultio.OS{}
+	}
+	t := &leaseTable{
+		opts:    o,
+		fs:      fs,
+		tel:     o.Telemetry,
+		items:   make(map[string]*workItem),
+		workers: make(map[string]int),
+		stop:    make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.scan()
+	return t
+}
+
+// execute is the runner.Options.ExecuteInterruptible seam: it parks one
+// deduped job in the lease table and blocks until a worker commits it (or
+// the job is withdrawn). The runner keeps its pool, retry, telemetry and
+// stats semantics — only the simulation itself moves off-process.
+func (t *leaseTable) execute(q runner.Request, interrupt <-chan struct{}) (*runner.Outcome, error) {
+	digest := q.Digest()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("service: worker dispatch stopped: %w", machine.ErrInterrupted)
+	}
+	it := &workItem{digest: digest, req: q, state: workPending, done: make(chan struct{})}
+	// A checkpoint persisted by an earlier leaseholder (or before a server
+	// restart) seeds the first grant, so the job resumes instead of
+	// restarting from event zero.
+	it.ckpt = t.loadCkptLocked(digest)
+	t.items[digest] = it
+	t.queue = append(t.queue, digest)
+	t.mu.Unlock()
+
+	select {
+	case <-it.done:
+	case <-interrupt:
+		// Cancelled or preempted. A pending item is withdrawn outright; a
+		// leased one winds down through its holder — told to yield on its
+		// next heartbeat, finish-or-checkpoint, then release — or through
+		// lease expiry if the holder is already dead. A commit that races
+		// the withdrawal wins: a finished result is never thrown away.
+		t.withdraw(it)
+		<-it.done
+	}
+	t.mu.Lock()
+	out, err := it.out, it.err
+	t.mu.Unlock()
+	return out, err
+}
+
+// withdraw takes an item back from the fleet (see execute).
+func (t *leaseTable) withdraw(it *workItem) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch it.state {
+	case workPending:
+		t.unqueueLocked(it.digest)
+		t.finishLocked(it, nil, fmt.Errorf("service: job withdrawn: %w", machine.ErrInterrupted))
+	case workLeased:
+		it.withdrawn = true
+	}
+}
+
+// lease grants the oldest pending job to worker under a TTL lease,
+// returning nil when the queue is empty (204 on the wire).
+func (t *leaseTable) lease(worker string, ttl time.Duration) (*LeaseGrant, error) {
+	if worker == "" {
+		return nil, &runner.FieldError{
+			Field: "worker",
+			Err:   fmt.Errorf("%w: a worker id is required", runner.ErrBadField),
+		}
+	}
+	switch {
+	case ttl <= 0:
+		ttl = t.opts.TTL
+	case ttl < 2*scanTick:
+		ttl = 2 * scanTick
+	case ttl > 10*time.Minute:
+		ttl = 10 * time.Minute
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrDraining
+	}
+	now := time.Now()
+	for len(t.queue) > 0 {
+		digest := t.queue[0]
+		t.queue = t.queue[1:]
+		it := t.items[digest]
+		if it == nil || it.state != workPending {
+			continue
+		}
+		t.fence++
+		it.state = workLeased
+		it.fence = t.fence
+		it.worker = worker
+		it.ttl = ttl
+		it.expires = now.Add(ttl)
+		it.attempt++
+		t.workers[worker]++
+		t.tel.SetFleetWorkers(int64(len(t.workers)))
+		t.tel.LeaseGranted()
+		t.logf("leased %s to %s (fence %d, attempt %d)", short(digest), worker, it.fence, it.attempt)
+		g := &LeaseGrant{
+			Schema:          runner.WireSchema,
+			Digest:          digest,
+			Request:         it.req,
+			Fence:           it.fence,
+			Attempt:         it.attempt,
+			ExpiresUnixNano: it.expires.UnixNano(),
+			CkptEvery:       t.opts.CkptEvery,
+		}
+		if len(it.ckpt) > 0 {
+			g.Checkpoint = append([]byte(nil), it.ckpt...)
+		}
+		return g, nil
+	}
+	return nil, nil
+}
+
+// heartbeat extends a live lease, stores (and persists) a shipped
+// checkpoint, and — with release — hands the job back to the queue.
+func (t *leaseTable) heartbeat(digest, worker string, fence uint64, ckpt []byte, release bool) (*HeartbeatReply, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	it := t.items[digest]
+	if it == nil || it.state != workLeased || it.fence != fence || it.worker != worker {
+		return nil, fmt.Errorf("%w: no live lease on %s under fence %d for %s",
+			ErrLeaseExpired, short(digest), fence, worker)
+	}
+	if len(ckpt) > 0 {
+		ck, err := checkpoint.Read(bytes.NewReader(ckpt))
+		if err == nil {
+			err = ck.Compatible(digest)
+		}
+		if err != nil {
+			return nil, &runner.FieldError{
+				Field: "checkpoint",
+				Err:   fmt.Errorf("%w: %v", runner.ErrBadField, err),
+			}
+		}
+		it.ckpt = append([]byte(nil), ckpt...)
+		t.persistCkptLocked(digest, it.ckpt)
+		t.tel.WorkCheckpointShipped()
+	}
+	if release {
+		t.endLeaseLocked(it)
+		t.tel.LeaseReleased()
+		if it.withdrawn {
+			t.finishLocked(it, nil, fmt.Errorf("service: job withdrawn: %w", machine.ErrInterrupted))
+		} else {
+			// Back to the front of the queue: the next grant resumes from
+			// the shipped checkpoint before fresh work starts cold.
+			it.state = workPending
+			it.worker = ""
+			t.queue = append([]string{digest}, t.queue...)
+			t.logf("released %s (fence %d)", short(digest), fence)
+		}
+		return &HeartbeatReply{Schema: runner.WireSchema, Released: true}, nil
+	}
+	it.expires = time.Now().Add(it.ttl)
+	return &HeartbeatReply{
+		Schema:          runner.WireSchema,
+		ExpiresUnixNano: it.expires.UnixNano(),
+		Yield:           it.withdrawn,
+	}, nil
+}
+
+// commit settles one job under its fencing token — at-most-once per
+// digest. A byte-identical duplicate of the committed entry is
+// acknowledged idempotently; any other stale commit is fenced with
+// ErrStaleCommit and counted.
+func (t *leaseTable) commit(digest, worker string, fence uint64, entry []byte, errMsg, errKind string) (*CommitReply, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	it := t.items[digest]
+	if it == nil {
+		return nil, fmt.Errorf("%w: no work item for %s", ErrLeaseExpired, short(digest))
+	}
+	if it.state == workDone {
+		if it.committed && len(entry) > 0 && sha256.Sum256(entry) == it.entryHash {
+			t.tel.WorkCommitDuplicate()
+			return &CommitReply{Schema: runner.WireSchema, Committed: true, Duplicate: true}, nil
+		}
+		t.tel.WorkCommitFenced()
+		return nil, fmt.Errorf("%w: job %s already settled (fence %d)", ErrStaleCommit, short(digest), it.fence)
+	}
+	if it.state != workLeased || it.fence != fence {
+		t.tel.WorkCommitFenced()
+		return nil, fmt.Errorf("%w: fence %d is not the live lease on %s", ErrStaleCommit, fence, short(digest))
+	}
+	if errMsg != "" {
+		t.endLeaseLocked(it)
+		t.tel.LeaseCommitted()
+		t.tel.WorkCommitFailed()
+		t.finishLocked(it, nil, commitError(errMsg, errKind))
+		t.logf("job %s failed on %s: %s", short(digest), worker, errMsg)
+		return &CommitReply{Schema: runner.WireSchema, Committed: true}, nil
+	}
+	out, _, derr := runner.DecodeEntry(entry)
+	if derr != nil {
+		// A malformed entry is the caller's bug, not a fencing event: the
+		// lease stays live so a corrected commit can still land.
+		return nil, &runner.FieldError{
+			Field: "entry",
+			Err:   fmt.Errorf("%w: %v", runner.ErrBadField, derr),
+		}
+	}
+	// The entry persists verbatim — the same bytes a local sweep would
+	// have written — so remote and local caches stay interchangeable.
+	out.Cached = false
+	t.persistEntryLocked(digest, entry)
+	it.committed = true
+	it.entryHash = sha256.Sum256(entry)
+	it.ckpt = nil
+	t.endLeaseLocked(it)
+	t.tel.LeaseCommitted()
+	t.tel.WorkCommitOK()
+	t.finishLocked(it, out, nil)
+	t.logf("committed %s from %s (fence %d)", short(digest), worker, fence)
+	return &CommitReply{Schema: runner.WireSchema, Committed: true}, nil
+}
+
+// expireLeases revokes every lease whose TTL lapsed: the holder is
+// presumed dead, the job requeues (front) to resume from its last shipped
+// checkpoint, and the old fence can never commit again.
+func (t *leaseTable) expireLeases(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	for digest, it := range t.items {
+		if it.state != workLeased || now.Before(it.expires) {
+			continue
+		}
+		t.endLeaseLocked(it)
+		t.tel.LeaseExpired()
+		t.logf("lease on %s expired (worker %s, fence %d)", short(digest), it.worker, it.fence)
+		if it.withdrawn {
+			t.finishLocked(it, nil, fmt.Errorf("service: job withdrawn: %w", machine.ErrInterrupted))
+			continue
+		}
+		it.state = workPending
+		it.worker = ""
+		t.queue = append([]string{digest}, t.queue...)
+	}
+}
+
+// scan is the expiry scanner goroutine.
+func (t *leaseTable) scan() {
+	defer t.wg.Done()
+	ticker := time.NewTicker(scanTick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case now := <-ticker.C:
+			t.expireLeases(now)
+		}
+	}
+}
+
+// close stops dispatch: every unfinished item — pending or leased —
+// finishes with machine.ErrInterrupted so blocked execute calls return,
+// and the gauges drain to zero. Late worker calls get ErrLeaseExpired.
+func (t *leaseTable) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		t.wg.Wait()
+		return
+	}
+	t.closed = true
+	close(t.stop)
+	for _, it := range t.items {
+		switch it.state {
+		case workLeased:
+			t.endLeaseLocked(it)
+			t.tel.LeaseRevoked()
+			t.finishLocked(it, nil, fmt.Errorf("service: dispatch stopped: %w", machine.ErrInterrupted))
+		case workPending:
+			t.finishLocked(it, nil, fmt.Errorf("service: dispatch stopped: %w", machine.ErrInterrupted))
+		}
+	}
+	t.queue = nil
+	t.workers = make(map[string]int)
+	t.tel.SetFleetWorkers(0)
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// finishLocked settles an item and wakes its execute call (mu held).
+func (t *leaseTable) finishLocked(it *workItem, out *runner.Outcome, err error) {
+	it.state = workDone
+	it.out, it.err = out, err
+	close(it.done)
+}
+
+// endLeaseLocked retires a lease's worker accounting (mu held). Exactly
+// one lease-end event (expired/released/revoked/committed) follows each
+// grant, keeping the dynamo_work_leases gauge balanced.
+func (t *leaseTable) endLeaseLocked(it *workItem) {
+	if n := t.workers[it.worker]; n > 1 {
+		t.workers[it.worker] = n - 1
+	} else {
+		delete(t.workers, it.worker)
+	}
+	t.tel.SetFleetWorkers(int64(len(t.workers)))
+}
+
+// unqueueLocked drops a digest from the pending queue (mu held).
+func (t *leaseTable) unqueueLocked(digest string) {
+	for i, d := range t.queue {
+		if d == digest {
+			t.queue = append(t.queue[:i], t.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// commitError rebuilds a worker-reported failure, preserving the error
+// kinds the runner's transient-retry policy matches on: a panicked or
+// stalled remote run retries (then quarantines) exactly like a local one.
+func commitError(msg, kind string) error {
+	switch kind {
+	case "panicked":
+		return fmt.Errorf("%w: %s", runner.ErrJobPanicked, msg)
+	case "stalled":
+		return fmt.Errorf("%w: %s", machine.ErrStalled, msg)
+	}
+	return errors.New(msg)
+}
+
+// errorKind renders a job failure's transient cause for the wire — the
+// inverse of commitError.
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, runner.ErrJobPanicked):
+		return "panicked"
+	case errors.Is(err, machine.ErrStalled):
+		return "stalled"
+	}
+	return ""
+}
+
+// ckptPath is the same path convention the runner's local checkpointing
+// uses, so fleet-shipped and locally captured checkpoints are
+// interchangeable across restarts and mode switches.
+func (t *leaseTable) ckptPath(digest string) string {
+	return filepath.Join(t.opts.Dir, digest+".ckpt.json")
+}
+
+// persistCkptLocked best-effort persists a shipped checkpoint (mu held):
+// a write failure degrades resume granularity, never the job.
+func (t *leaseTable) persistCkptLocked(digest string, data []byte) {
+	if err := t.fs.WriteFileAtomic(t.opts.Dir, t.ckptPath(digest), data); err != nil {
+		t.logf("checkpoint for %s not persisted: %v", short(digest), err)
+	}
+}
+
+// loadCkptLocked returns a persisted checkpoint's raw document when it
+// verifies for this digest; unusable files are evicted (mu held).
+func (t *leaseTable) loadCkptLocked(digest string) []byte {
+	data, err := t.fs.ReadFile(t.ckptPath(digest))
+	if err != nil {
+		return nil
+	}
+	ck, err := checkpoint.Read(bytes.NewReader(data))
+	if err == nil {
+		err = ck.Compatible(digest)
+	}
+	if err != nil {
+		t.fs.Remove(t.ckptPath(digest))
+		return nil
+	}
+	return data
+}
+
+// persistEntryLocked writes a committed entry verbatim and clears the
+// job's checkpoint and any quarantine marker (mu held). A write failure
+// degrades the cache, not the commit: the in-memory outcome still
+// completes the job, and the runner's own save heals the file.
+func (t *leaseTable) persistEntryLocked(digest string, entry []byte) {
+	if err := t.fs.WriteFileAtomic(t.opts.Dir, filepath.Join(t.opts.Dir, digest+".json"), entry); err != nil {
+		t.logf("result for %s not persisted: %v", short(digest), err)
+	}
+	t.fs.Remove(t.ckptPath(digest))
+	t.fs.Remove(filepath.Join(t.opts.Dir, digest+".failed.json"))
+}
+
+func (t *leaseTable) logf(format string, args ...any) {
+	if t.opts.Log == nil {
+		return
+	}
+	fmt.Fprintf(t.opts.Log, "  "+format+"\n", args...)
+}
+
+// short abbreviates a digest for log lines.
+func short(digest string) string {
+	if len(digest) > 12 {
+		return digest[:12]
+	}
+	return digest
+}

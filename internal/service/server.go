@@ -44,6 +44,9 @@ func Serve(addr string, svc *Service, middleware ...func(http.Handler) http.Hand
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", srv.deleteSweep)
 	mux.HandleFunc("GET /v1/jobs/{digest}", srv.getJob)
 	mux.HandleFunc("GET /v1/jobs/{digest}/span", srv.getJobSpan)
+	mux.HandleFunc("POST /v1/work/lease", srv.postLease)
+	mux.HandleFunc("POST /v1/work/{digest}/heartbeat", srv.postHeartbeat)
+	mux.HandleFunc("POST /v1/work/{digest}/result", srv.postCommit)
 	telemetry.Mount(mux, svc.Telemetry())
 	mux.HandleFunc("/", srv.index)
 	var h http.Handler = mux
@@ -91,6 +94,12 @@ func kindOf(err error) string {
 		return "draining"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
+	case errors.Is(err, ErrLeaseExpired):
+		return "lease-expired"
+	case errors.Is(err, ErrStaleCommit):
+		return "stale-commit"
+	case errors.Is(err, ErrNoWorkers):
+		return "no-workers"
 	default:
 		return "bad-request"
 	}
@@ -105,6 +114,12 @@ func statusOf(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrLeaseExpired):
+		return http.StatusGone
+	case errors.Is(err, ErrStaleCommit):
+		return http.StatusConflict
+	case errors.Is(err, ErrNoWorkers):
+		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
@@ -202,6 +217,83 @@ func (s *Server) getJobSpan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, span)
 }
 
+// checkWorkSchema rejects a work-API body from a different wire schema.
+func checkWorkSchema(schema int) error {
+	if schema != 0 && schema != runner.WireSchema {
+		return &runner.FieldError{
+			Field: "schema", Value: fmt.Sprint(schema),
+			Err: fmt.Errorf("%w: this build speaks schema %d", runner.ErrWireSchema, runner.WireSchema),
+		}
+	}
+	return nil
+}
+
+func (s *Server) postLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: decoding lease body: %w", err))
+		return
+	}
+	if err := checkWorkSchema(req.Schema); err != nil {
+		writeError(w, err)
+		return
+	}
+	if d := req.TTLSeconds; d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		writeError(w, &runner.FieldError{
+			Field: "ttl_seconds", Value: fmt.Sprint(d),
+			Err: fmt.Errorf("%w: ttl must be a non-negative finite number of seconds", runner.ErrBadField),
+		})
+		return
+	}
+	g, err := s.svc.Lease(req.Worker, time.Duration(req.TTLSeconds*float64(time.Second)))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if g == nil {
+		// No work pending: 204, the worker's cue to idle-poll.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) postHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: decoding heartbeat body: %w", err))
+		return
+	}
+	if err := checkWorkSchema(req.Schema); err != nil {
+		writeError(w, err)
+		return
+	}
+	hb, err := s.svc.WorkHeartbeat(r.PathValue("digest"), req.Worker, req.Fence, req.Checkpoint, req.Release)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hb)
+}
+
+func (s *Server) postCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("service: decoding commit body: %w", err))
+		return
+	}
+	if err := checkWorkSchema(req.Schema); err != nil {
+		writeError(w, err)
+		return
+	}
+	cr, err := s.svc.WorkCommit(r.PathValue("digest"), req.Worker, req.Fence, req.Entry, req.Error, req.ErrorKind)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cr)
+}
+
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		writeError(w, fmt.Errorf("%w: %s", ErrNotFound, r.URL.Path))
@@ -215,6 +307,9 @@ GET    /v1/sweeps/{id}          sweep status
 DELETE /v1/sweeps/{id}          cancel a sweep
 GET    /v1/jobs/{digest}        cached result document
 GET    /v1/jobs/{digest}/span   job trace span
+POST   /v1/work/lease                 pull a job under a TTL lease (workers mode)
+POST   /v1/work/{digest}/heartbeat    extend a lease / ship a checkpoint / release
+POST   /v1/work/{digest}/result       commit a job's outcome (fenced)
 GET    /metrics /progress /jobs telemetry
 `)
 }

@@ -75,6 +75,16 @@ type Options struct {
 	// FS replaces the file plane beneath the sweep documents and the
 	// runner's cache (fault injection); nil selects the real filesystem.
 	FS faultio.FS
+	// Workers switches execution from in-process to the worker fleet:
+	// jobs park in a lease table and external dynamo-worker processes
+	// pull them through the /v1/work routes under TTL leases. Scheduling,
+	// dedupe, retries, cancellation and preemption are unchanged — only
+	// the simulation itself moves off-process.
+	Workers bool
+	// LeaseTTL bounds how long a worker may go without heartbeating
+	// before its lease is revoked and the job requeued (default 10s).
+	// Only meaningful with Workers.
+	LeaseTTL time.Duration
 }
 
 // job is one distinct request inside a sweep. Requests in a batch that
@@ -129,6 +139,7 @@ type Service struct {
 	fs     faultio.FS
 	tel    *telemetry.Sweep
 	ownTel bool
+	lt     *leaseTable // nil unless Options.Workers
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -176,7 +187,7 @@ func New(o Options) (*Service, error) {
 		ctl:    make(map[string]*jobCtl),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.r = runner.New(runner.Options{
+	ro := runner.Options{
 		Jobs:      o.Jobs,
 		CacheDir:  o.CacheDir,
 		Log:       o.Log,
@@ -185,7 +196,19 @@ func New(o Options) (*Service, error) {
 		Resume:    o.Resume,
 		Telemetry: tel,
 		FS:        o.FS,
-	})
+	}
+	if o.Workers {
+		s.lt = newLeaseTable(leaseTableOptions{
+			Dir:       o.CacheDir,
+			FS:        fs,
+			Telemetry: tel,
+			Log:       o.Log,
+			TTL:       o.LeaseTTL,
+			CkptEvery: o.CkptEvery,
+		})
+		ro.ExecuteInterruptible = s.lt.execute
+	}
+	s.r = runner.New(ro)
 	if o.Resume {
 		if err := s.reload(); err != nil {
 			return nil, err
@@ -543,6 +566,35 @@ func (s *Service) SpanOf(digest string) (Span, error) {
 	return Span{}, fmt.Errorf("%w: span for job %s", ErrNotFound, digest)
 }
 
+// Lease grants the oldest pending job to a worker under a TTL lease (the
+// server default when ttl is zero, clamped otherwise), returning (nil,
+// nil) when no work is pending. ErrNoWorkers without Options.Workers.
+func (s *Service) Lease(worker string, ttl time.Duration) (*LeaseGrant, error) {
+	if s.lt == nil {
+		return nil, ErrNoWorkers
+	}
+	return s.lt.lease(worker, ttl)
+}
+
+// WorkHeartbeat extends a live lease, optionally storing a shipped
+// checkpoint, or — with release — hands the job back to the queue.
+func (s *Service) WorkHeartbeat(digest, worker string, fence uint64, ckpt []byte, release bool) (*HeartbeatReply, error) {
+	if s.lt == nil {
+		return nil, ErrNoWorkers
+	}
+	return s.lt.heartbeat(digest, worker, fence, ckpt, release)
+}
+
+// WorkCommit settles a leased job under its fencing token: entry bytes on
+// success (persisted verbatim), an error message (plus transient kind) on
+// failure. At-most-once per digest; see leaseTable.commit.
+func (s *Service) WorkCommit(digest, worker string, fence uint64, entry []byte, errMsg, errKind string) (*CommitReply, error) {
+	if s.lt == nil {
+		return nil, ErrNoWorkers
+	}
+	return s.lt.commit(digest, worker, fence, entry, errMsg, errKind)
+}
+
 // statusLocked snapshots one sweep (mu held).
 func (s *Service) statusLocked(sw *sweepState) *SweepStatus {
 	st := &SweepStatus{Schema: runner.WireSchema, ID: sw.id, Retries: s.r.Stats().Retries}
@@ -846,6 +898,13 @@ func (s *Service) Drain() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.lt != nil {
+		// Stop fleet dispatch after the interrupt channels closed: every
+		// parked job finishes with machine.ErrInterrupted, so the await
+		// goroutines below can drain. Queued jobs stay in their persisted
+		// sweep documents; shipped checkpoints stay on disk for resume.
+		s.lt.close()
+	}
 	s.wg.Wait()
 }
 

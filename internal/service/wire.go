@@ -18,11 +18,20 @@
 //	GET    /v1/jobs/{digest}      the raw cache document for a finished job
 //	GET    /v1/jobs/{digest}/span the job's trace span, while retained
 //
+// With Options.Workers, jobs execute on external worker processes instead
+// of in-process, pulled through the work-distribution routes:
+//
+//	POST /v1/work/lease             pull one job under a TTL lease + fencing token
+//	POST /v1/work/{digest}/heartbeat  extend the lease, ship a checkpoint, or release
+//	POST /v1/work/{digest}/result     commit the outcome (fenced, at-most-once)
+//
 // The telemetry endpoints (/metrics, /progress, /jobs) mount on the same
 // listener via telemetry.Mount.
 package service
 
 import (
+	"encoding/json"
+
 	"dynamo/internal/runner"
 	"dynamo/internal/telemetry"
 )
@@ -109,6 +118,92 @@ func (s *SweepStatus) Terminal() bool {
 		return true
 	}
 	return false
+}
+
+// LeaseRequest is the POST /v1/work/lease body: a worker asking to pull
+// one queued job under a TTL lease.
+type LeaseRequest struct {
+	Schema int `json:"schema,omitempty"`
+	// Worker identifies the leaseholder (host:pid by convention); it keys
+	// the fleet-size gauge and appears in lease telemetry.
+	Worker string `json:"worker"`
+	// TTLSeconds, when positive, requests a specific lease TTL; the server
+	// clamps it to its configured bounds. Zero means the server default.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// LeaseGrant is the POST /v1/work/lease response when work is available
+// (204 No Content otherwise): one job, its fencing token, and — when a
+// prior leaseholder shipped one — the checkpoint to resume from.
+type LeaseGrant struct {
+	Schema  int            `json:"schema"`
+	Digest  string         `json:"digest"`
+	Request runner.Request `json:"request"`
+	// Fence is the monotone fencing token for this grant. Every heartbeat
+	// and commit must carry it; a smaller (stale) token is rejected.
+	Fence uint64 `json:"fence"`
+	// Attempt counts grants of this job, 1-based: attempt 2 means a prior
+	// lease was lost (expired or released) and this grant is a re-issue.
+	Attempt         int   `json:"attempt"`
+	ExpiresUnixNano int64 `json:"expires_unix_nano"`
+	// CkptEvery is the server's checkpoint cadence (simulation events
+	// between captures); zero asks the worker not to checkpoint.
+	CkptEvery uint64 `json:"ckpt_every,omitempty"`
+	// Checkpoint, when present, is the job's latest shipped checkpoint
+	// document; the worker resumes from it instead of event zero.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+}
+
+// HeartbeatRequest is the POST /v1/work/{digest}/heartbeat body: extend
+// the lease, optionally shipping the job's latest checkpoint bytes, or —
+// with Release — hand the job back (graceful drain).
+type HeartbeatRequest struct {
+	Schema int    `json:"schema,omitempty"`
+	Worker string `json:"worker"`
+	Fence  uint64 `json:"fence"`
+	// Checkpoint, when present, is the job's latest checkpoint document;
+	// the server keeps the newest shipped copy for re-grants.
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	// Release hands the job back to the queue without committing: the
+	// lease ends, the shipped checkpoint (if any) seeds the next grant.
+	Release bool `json:"release,omitempty"`
+}
+
+// HeartbeatReply acknowledges a heartbeat.
+type HeartbeatReply struct {
+	Schema          int   `json:"schema"`
+	ExpiresUnixNano int64 `json:"expires_unix_nano,omitempty"`
+	// Yield tells the worker to stop executing this job and release it
+	// (the job was cancelled or preempted server-side): checkpoint, then
+	// heartbeat once more with Release.
+	Yield bool `json:"yield,omitempty"`
+	// Released confirms a Release heartbeat: the lease is over.
+	Released bool `json:"released,omitempty"`
+}
+
+// CommitRequest is the POST /v1/work/{digest}/result body: the job's
+// outcome under the lease's fencing token. Exactly one of Entry or Error
+// is set. Entry is the canonical cache document (runner.EncodeEntry
+// bytes), persisted verbatim so a remotely executed result is
+// byte-identical to a local one.
+type CommitRequest struct {
+	Schema int             `json:"schema,omitempty"`
+	Worker string          `json:"worker"`
+	Fence  uint64          `json:"fence"`
+	Entry  json.RawMessage `json:"entry,omitempty"`
+	// Error reports a failed execution; ErrorKind distinguishes transient
+	// causes the server's retry policy understands ("panicked", "stalled")
+	// from permanent ones (empty).
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+}
+
+// CommitReply acknowledges a commit. Duplicate marks a byte-identical
+// re-commit of an already-committed result (accepted idempotently).
+type CommitReply struct {
+	Schema    int  `json:"schema"`
+	Committed bool `json:"committed"`
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // WireError is the structured error every non-2xx response carries, under

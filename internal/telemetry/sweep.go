@@ -52,6 +52,19 @@ type Sweep struct {
 	overloaded *Counter
 	expired    *Counter
 
+	leaseGranted   *Counter
+	leaseExpired   *Counter
+	leaseReleased  *Counter
+	leaseRevoked   *Counter
+	leaseCommitted *Counter
+	commitOK       *Counter
+	commitDup      *Counter
+	commitFenced   *Counter
+	commitFailed   *Counter
+	ckptShipped    *Counter
+	leases         *Gauge
+	fleetWorkers   *Gauge
+
 	queued   *Gauge
 	running  *Gauge
 	workers  *Gauge
@@ -91,6 +104,19 @@ func NewSweep(o SweepOptions) *Sweep {
 		preempted:  reg.Counter("dynamo_runner_preemptions_total", "", "Jobs that yielded at a checkpoint boundary to make room for another sweep."),
 		overloaded: reg.Counter("dynamo_service_overloaded_total", "", "Sweep submissions rejected by the bounded admission queue."),
 		expired:    reg.Counter("dynamo_service_deadline_expired_total", "", "Jobs abandoned because their sweep's deadline passed."),
+
+		leaseGranted:   reg.Counter("dynamo_work_leases_total", `event="granted"`, "Work-lease lifecycle events."),
+		leaseExpired:   reg.Counter("dynamo_work_leases_total", `event="expired"`, "Work-lease lifecycle events."),
+		leaseReleased:  reg.Counter("dynamo_work_leases_total", `event="released"`, "Work-lease lifecycle events."),
+		leaseRevoked:   reg.Counter("dynamo_work_leases_total", `event="revoked"`, "Work-lease lifecycle events."),
+		leaseCommitted: reg.Counter("dynamo_work_leases_total", `event="committed"`, "Work-lease lifecycle events."),
+		commitOK:       reg.Counter("dynamo_work_commits_total", `outcome="ok"`, "Worker result commits by outcome."),
+		commitDup:      reg.Counter("dynamo_work_commits_total", `outcome="duplicate"`, "Worker result commits by outcome."),
+		commitFenced:   reg.Counter("dynamo_work_commits_total", `outcome="fenced"`, "Worker result commits by outcome."),
+		commitFailed:   reg.Counter("dynamo_work_commits_total", `outcome="failed"`, "Worker result commits by outcome."),
+		ckptShipped:    reg.Counter("dynamo_work_checkpoints_total", "", "Checkpoints shipped by workers over heartbeats."),
+		leases:         reg.Gauge("dynamo_work_leases", "", "Work leases currently held by workers."),
+		fleetWorkers:   reg.Gauge("dynamo_work_workers", "", "Distinct workers currently holding at least one lease."),
 
 		queued:   reg.Gauge("dynamo_sweep_jobs_queued", "", "Jobs submitted but not yet running or finished."),
 		running:  reg.Gauge("dynamo_sweep_jobs_running", "", "Jobs currently executing on the worker pool."),
@@ -298,6 +324,110 @@ func (s *Sweep) DeadlineExpired(n uint64) {
 		return
 	}
 	s.expired.Add(n)
+}
+
+// LeaseGranted counts a work lease handed to a worker and takes its slot
+// on the lease gauge. The gauge drains through exactly one of
+// LeaseExpired, LeaseReleased, LeaseRevoked or LeaseCommitted.
+func (s *Sweep) LeaseGranted() {
+	if s == nil {
+		return
+	}
+	s.leaseGranted.Inc()
+	s.leases.Add(1)
+}
+
+// LeaseExpired counts a lease revoked by the expiry scanner after its
+// holder missed a heartbeat (worker death, hang or partition).
+func (s *Sweep) LeaseExpired() {
+	if s == nil {
+		return
+	}
+	s.leaseExpired.Inc()
+	s.leases.Add(-1)
+}
+
+// LeaseReleased counts a lease its holder gave back voluntarily (a
+// draining worker checkpointed and released).
+func (s *Sweep) LeaseReleased() {
+	if s == nil {
+		return
+	}
+	s.leaseReleased.Inc()
+	s.leases.Add(-1)
+}
+
+// LeaseRevoked counts a lease the server itself withdrew (job cancelled,
+// sweep expired, or the lease table shut down).
+func (s *Sweep) LeaseRevoked() {
+	if s == nil {
+		return
+	}
+	s.leaseRevoked.Inc()
+	s.leases.Add(-1)
+}
+
+// LeaseCommitted counts a lease ended by its holder's accepted commit.
+func (s *Sweep) LeaseCommitted() {
+	if s == nil {
+		return
+	}
+	s.leaseCommitted.Inc()
+	s.leases.Add(-1)
+}
+
+// WorkCommitOK counts an accepted worker result commit.
+func (s *Sweep) WorkCommitOK() {
+	if s == nil {
+		return
+	}
+	s.commitOK.Inc()
+}
+
+// WorkCommitDuplicate counts a byte-identical duplicate commit accepted
+// idempotently (a retried send whose first copy already landed).
+func (s *Sweep) WorkCommitDuplicate() {
+	if s == nil {
+		return
+	}
+	s.commitDup.Inc()
+}
+
+// WorkCommitFenced counts a commit rejected because its fencing token was
+// stale — the at-most-once guarantee turning a zombie worker's late result
+// away.
+func (s *Sweep) WorkCommitFenced() {
+	if s == nil {
+		return
+	}
+	s.commitFenced.Inc()
+}
+
+// WorkCommitFailed counts a commit that reported a job failure from the
+// worker rather than a result.
+func (s *Sweep) WorkCommitFailed() {
+	if s == nil {
+		return
+	}
+	s.commitFailed.Inc()
+}
+
+// WorkCheckpointShipped counts a checkpoint a worker shipped over a
+// heartbeat.
+func (s *Sweep) WorkCheckpointShipped() {
+	if s == nil {
+		return
+	}
+	s.ckptShipped.Inc()
+}
+
+// SetFleetWorkers records how many distinct workers currently hold at
+// least one lease.
+func (s *Sweep) SetFleetWorkers(n int64) {
+	if s == nil {
+		return
+	}
+	s.fleetWorkers.Set(n)
 }
 
 // Progress is the point-in-time sweep snapshot served by /progress and

@@ -3,6 +3,7 @@ package dynamo
 import (
 	"io"
 	"os"
+	"time"
 
 	"dynamo/internal/runner"
 	"dynamo/internal/telemetry"
@@ -140,6 +141,8 @@ type serviceConfig struct {
 	log       io.Writer
 	maxQueued int
 	preempt   bool
+	workers   bool
+	leaseTTL  time.Duration
 }
 
 // ServiceOption configures the observability and service surface shared
@@ -210,6 +213,22 @@ func ServiceMaxQueued(n int) ServiceOption {
 // job keeps its progress.
 func ServicePreemption() ServiceOption {
 	return func(c *serviceConfig) { c.preempt = true }
+}
+
+// ServiceWorkers switches Serve's execution from in-process to the
+// worker fleet: jobs park in a lease table and external dynamo-worker
+// processes pull them through the /v1/work routes under TTL leases with
+// fencing tokens. A worker that stops heartbeating is presumed dead
+// after ttl (zero selects the 10s default): its job requeues — resuming
+// from the last checkpoint the worker shipped — and any commit under the
+// stale fence is rejected (ErrLeaseExpired / ErrStaleCommit on the
+// wire). Scheduling, dedupe, retries, cancellation and preemption are
+// unchanged. Only Serve honors it — a local runner executes in-process.
+func ServiceWorkers(ttl time.Duration) ServiceOption {
+	return func(c *serviceConfig) {
+		c.workers = true
+		c.leaseTTL = ttl
+	}
 }
 
 // fill resolves the options, opening a journal-backed telemetry surface

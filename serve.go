@@ -53,6 +53,17 @@ var ErrServiceOverloaded = service.ErrOverloaded
 // sweep turned terminal.
 var ErrSweepWaitTimeout = service.ErrWaitTimeout
 
+// ErrLeaseExpired rejects a fleet worker's heartbeat or commit whose
+// lease no longer exists — its TTL lapsed and the job was reassigned
+// (HTTP 410 on the wire). See ServiceWorkers.
+var ErrLeaseExpired = service.ErrLeaseExpired
+
+// ErrStaleCommit rejects a fleet worker's commit bearing a fencing token
+// that is not the job's live lease (HTTP 409 on the wire). Byte-identical
+// duplicates of the committed result are acknowledged idempotently
+// instead — commits are at-most-once per job.
+var ErrStaleCommit = service.ErrStaleCommit
+
 // Serve starts a sweep service on addr (host:port; ":0" picks a free
 // port). ServiceCacheDir is required — the cache is what the service
 // serves. With ServiceResume, persisted sweeps reload and interrupted
@@ -71,6 +82,8 @@ func Serve(addr string, opts ...ServiceOption) (*SweepService, error) {
 		Log:       c.log,
 		MaxQueued: c.maxQueued,
 		Preempt:   c.preempt,
+		Workers:   c.workers,
+		LeaseTTL:  c.leaseTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -137,5 +150,27 @@ func WithRemote(addr string, opts ...RemoteOption) RunnerOption {
 	for _, opt := range opts {
 		opt(client)
 	}
-	return func(o *runner.Options) { o.Execute = client.Execute }
+	// The interrupt-aware seam: cancelling or preempting a local job
+	// aborts its remote wait promptly and best-effort cancels the sweep
+	// server-side, instead of polling to the job's natural end.
+	return func(o *runner.Options) { o.ExecuteInterruptible = client.ExecuteInterruptible }
+}
+
+// FleetWorker is one process of the distributed execution tier: it pulls
+// jobs from a sweep service started with ServiceWorkers (or dynamo-serve
+// -workers), executes them locally, heartbeats — shipping checkpoints —
+// while they run, and commits results under fenced TTL leases. The
+// dynamo-worker command wraps one. See FleetWorkerOptions.
+type FleetWorker = service.Worker
+
+// FleetWorkerOptions configures a FleetWorker.
+type FleetWorkerOptions = service.WorkerOptions
+
+// FleetWorkerStats counts what a FleetWorker did.
+type FleetWorkerStats = service.WorkerStats
+
+// NewFleetWorker builds a fleet worker (call Start to begin pulling work
+// and Drain for a graceful finish-or-checkpoint shutdown).
+func NewFleetWorker(opts FleetWorkerOptions) *FleetWorker {
+	return service.NewWorker(opts)
 }
